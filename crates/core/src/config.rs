@@ -1,0 +1,257 @@
+//! Hermes configuration — the tunable parameters of the paper's Table 2.
+
+use hermes_math::Metric;
+use hermes_quant::CodecSpec;
+use serde::{Deserialize, Serialize};
+
+/// How the datastore is split into per-node clusters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SplitStrategy {
+    /// K-means on document embeddings with a multi-seed imbalance sweep —
+    /// the Hermes splitting procedure (Section 4.1). The fields control
+    /// the sweep: how many seeds, and what fraction of documents the
+    /// per-seed clustering sees.
+    KMeansSweep {
+        /// Number of seeds evaluated.
+        seeds: u64,
+        /// Subsample fraction for the sweep (the paper uses 1–2%).
+        sample_fraction: f64,
+    },
+    /// Single-seed K-means without a sweep (ablation point).
+    KMeansSingle,
+    /// Round-robin assignment, giving equal-size clusters with no topical
+    /// coherence — the paper's "Split" baseline.
+    RoundRobin,
+}
+
+impl Default for SplitStrategy {
+    fn default() -> Self {
+        SplitStrategy::KMeansSweep {
+            seeds: 8,
+            sample_fraction: 0.1,
+        }
+    }
+}
+
+/// How clusters are ranked for deep search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Routing {
+    /// Document sampling: probe each cluster's index cheaply and rank by
+    /// the best retrieved document — the Hermes routing (Section 4.2).
+    #[default]
+    DocumentSampling,
+    /// Rank clusters by the similarity of their split centroid — the
+    /// "Centroid-Based" ablation of Figure 11.
+    CentroidOnly,
+    /// No ranking: clusters searched in index order (the naive-split
+    /// baseline's behavior when combined with `SplitStrategy::RoundRobin`).
+    Unranked,
+}
+
+/// Full Hermes configuration (Table 2: latency/accuracy, node scaling and
+/// memory-efficiency knobs).
+///
+/// # Examples
+///
+/// ```
+/// use hermes_core::HermesConfig;
+/// let cfg = HermesConfig::new(10).with_clusters_to_search(3);
+/// assert_eq!(cfg.num_clusters, 10);
+/// assert_eq!(cfg.clusters_to_search, 3);
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HermesConfig {
+    /// Number of search indices the datastore is split into (one per
+    /// node).
+    pub num_clusters: usize,
+    /// `nProbe` of the coarse sampling search (paper DSE optimum: 8).
+    pub sample_nprobe: usize,
+    /// `nProbe` of the in-depth search (paper DSE optimum: 128).
+    pub deep_nprobe: usize,
+    /// How many top-ranked clusters receive a deep search (paper: 3).
+    pub clusters_to_search: usize,
+    /// Documents returned per query (paper: 5).
+    pub k: usize,
+    /// Storage codec of every per-cluster IVF index (paper: SQ8).
+    pub codec: CodecSpec,
+    /// Similarity metric (the paper reranks by inner product).
+    pub metric: Metric,
+    /// Splitting procedure.
+    pub split: SplitStrategy,
+    /// Cluster-ranking procedure.
+    pub routing: Routing,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl HermesConfig {
+    /// Paper defaults for a datastore split `num_clusters` ways: sample
+    /// `nProbe` 8, deep `nProbe` 128, 3 deep clusters, k = 5, SQ8.
+    pub fn new(num_clusters: usize) -> Self {
+        HermesConfig {
+            num_clusters,
+            sample_nprobe: 8,
+            deep_nprobe: 128,
+            clusters_to_search: 3,
+            k: 5,
+            codec: CodecSpec::Sq8,
+            metric: Metric::InnerProduct,
+            split: SplitStrategy::default(),
+            routing: Routing::default(),
+            seed: 0,
+        }
+    }
+
+    /// Sets the number of deep-searched clusters.
+    pub fn with_clusters_to_search(mut self, m: usize) -> Self {
+        self.clusters_to_search = m;
+        self
+    }
+
+    /// Sets the sampling `nProbe`.
+    pub fn with_sample_nprobe(mut self, nprobe: usize) -> Self {
+        self.sample_nprobe = nprobe;
+        self
+    }
+
+    /// Sets the deep-search `nProbe`.
+    pub fn with_deep_nprobe(mut self, nprobe: usize) -> Self {
+        self.deep_nprobe = nprobe;
+        self
+    }
+
+    /// Sets the documents retrieved per query.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the storage codec.
+    pub fn with_codec(mut self, codec: CodecSpec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Sets the metric.
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the splitting strategy.
+    pub fn with_split(mut self, split: SplitStrategy) -> Self {
+        self.split = split;
+        self
+    }
+
+    /// Sets the routing strategy.
+    pub fn with_routing(mut self, routing: Routing) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::HermesError::InvalidConfig`] if any count is zero,
+    /// `clusters_to_search > num_clusters`, or a sweep fraction is outside
+    /// `(0, 1]`.
+    pub fn validate(&self) -> Result<(), crate::HermesError> {
+        use crate::HermesError::InvalidConfig;
+        if self.num_clusters == 0 {
+            return Err(InvalidConfig("num_clusters must be positive".into()));
+        }
+        if self.clusters_to_search == 0 || self.clusters_to_search > self.num_clusters {
+            return Err(InvalidConfig(format!(
+                "clusters_to_search {} must be in 1..={}",
+                self.clusters_to_search, self.num_clusters
+            )));
+        }
+        if self.sample_nprobe == 0 || self.deep_nprobe == 0 {
+            return Err(InvalidConfig("nProbe values must be positive".into()));
+        }
+        if self.k == 0 {
+            return Err(InvalidConfig("k must be positive".into()));
+        }
+        if let SplitStrategy::KMeansSweep {
+            seeds,
+            sample_fraction,
+        } = self.split
+        {
+            if seeds == 0 {
+                return Err(InvalidConfig("sweep needs at least one seed".into()));
+            }
+            if !(0.0..=1.0).contains(&sample_fraction) || sample_fraction == 0.0 {
+                return Err(InvalidConfig(format!(
+                    "sample_fraction {sample_fraction} must be in (0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_design_points() {
+        let cfg = HermesConfig::new(10);
+        assert_eq!(cfg.sample_nprobe, 8);
+        assert_eq!(cfg.deep_nprobe, 128);
+        assert_eq!(cfg.clusters_to_search, 3);
+        assert_eq!(cfg.k, 5);
+        assert_eq!(cfg.codec, CodecSpec::Sq8);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn over_searching_rejected() {
+        let cfg = HermesConfig::new(4).with_clusters_to_search(5);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn zero_values_rejected() {
+        assert!(HermesConfig::new(0).validate().is_err());
+        assert!(HermesConfig::new(4).with_k(0).validate().is_err());
+        assert!(HermesConfig::new(4).with_sample_nprobe(0).validate().is_err());
+    }
+
+    #[test]
+    fn bad_sweep_fraction_rejected() {
+        let cfg = HermesConfig::new(4).with_split(SplitStrategy::KMeansSweep {
+            seeds: 4,
+            sample_fraction: 0.0,
+        });
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn builder_chain_sets_all_fields() {
+        let cfg = HermesConfig::new(8)
+            .with_sample_nprobe(4)
+            .with_deep_nprobe(64)
+            .with_clusters_to_search(2)
+            .with_k(10)
+            .with_metric(Metric::L2)
+            .with_routing(Routing::CentroidOnly)
+            .with_seed(99);
+        assert_eq!(cfg.sample_nprobe, 4);
+        assert_eq!(cfg.deep_nprobe, 64);
+        assert_eq!(cfg.clusters_to_search, 2);
+        assert_eq!(cfg.k, 10);
+        assert_eq!(cfg.metric, Metric::L2);
+        assert_eq!(cfg.routing, Routing::CentroidOnly);
+        assert_eq!(cfg.seed, 99);
+    }
+}

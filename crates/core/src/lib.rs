@@ -1,0 +1,62 @@
+//! The Hermes core: datastore disaggregation and hierarchical search
+//! (paper Section 4).
+//!
+//! Hermes replaces a single monolithic IVF index with a [`ClusteredStore`]
+//! of `C` smaller indices, one per K-means document cluster, each sized to
+//! hide its search latency under LLM inference. Queries then run the
+//! two-phase [`ClusteredStore::hierarchical_search`]:
+//!
+//! 1. **Sample** — every cluster is probed cheaply (low `nProbe`, k = 1),
+//!    retrieving one representative document per cluster.
+//! 2. **Rank** — clusters are ordered by their sampled document's
+//!    similarity to the query (more faithful than comparing top-level
+//!    centroids, the paper's Figure 11 ablation).
+//! 3. **Deep search** — only the top `m` clusters are searched in depth
+//!    (high `nProbe`).
+//! 4. **Rerank** — per-cluster results merge into the global top-k.
+//!
+//! The module split mirrors the design: [`config`] (Table 2 knobs),
+//! [`store`] (splitting + per-cluster indices), [`search`] (the
+//! hierarchical algorithm and its work accounting).
+
+pub mod config;
+pub mod persist;
+pub mod search;
+pub mod store;
+
+pub use config::{HermesConfig, Routing, SplitStrategy};
+pub use search::{SearchOutcome, SearchPhaseCost};
+pub use store::{ClusterInfo, ClusteredStore};
+
+/// Errors from store construction and search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HermesError {
+    /// Underlying index failure.
+    Index(hermes_index::IndexError),
+    /// Invalid configuration value.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for HermesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HermesError::Index(e) => write!(f, "index error: {e}"),
+            HermesError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HermesError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HermesError::Index(e) => Some(e),
+            HermesError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<hermes_index::IndexError> for HermesError {
+    fn from(e: hermes_index::IndexError) -> Self {
+        HermesError::Index(e)
+    }
+}

@@ -1,0 +1,322 @@
+//! Persistence and online mutation of the clustered store.
+//!
+//! The paper's deployment builds indices offline (Appendix A.5 step 7)
+//! and serves them online (steps 8+); this module provides the handoff:
+//! [`ClusteredStore::to_bytes`]/[`ClusteredStore::from_bytes`] plus file
+//! helpers, and [`ClusteredStore::insert`] for RAG's defining property —
+//! a *mutable* non-parametric datastore that absorbs new documents
+//! without retraining the LLM.
+
+use hermes_math::distance::l2_sq;
+use hermes_math::wire::{Reader, WireError, Writer};
+use hermes_math::Metric;
+use hermes_index::IvfIndex;
+use hermes_quant::CodecSpec;
+
+use crate::config::{HermesConfig, Routing, SplitStrategy};
+use crate::store::ClusteredStore;
+use crate::HermesError;
+
+const MAGIC: &str = "HCLS";
+const VERSION: u8 = 1;
+
+fn encode_config(w: &mut Writer, cfg: &HermesConfig) {
+    w.u64(cfg.num_clusters as u64);
+    w.u64(cfg.sample_nprobe as u64);
+    w.u64(cfg.deep_nprobe as u64);
+    w.u64(cfg.clusters_to_search as u64);
+    w.u64(cfg.k as u64);
+    match cfg.codec {
+        CodecSpec::Flat => w.u8(0),
+        CodecSpec::Sq8 => w.u8(1),
+        CodecSpec::Sq4 => w.u8(2),
+        CodecSpec::Pq { m } => {
+            w.u8(3);
+            w.u64(m as u64);
+        }
+        CodecSpec::Opq { m } => {
+            w.u8(4);
+            w.u64(m as u64);
+        }
+    }
+    w.u8(match cfg.metric {
+        Metric::L2 => 0,
+        Metric::InnerProduct => 1,
+        Metric::Cosine => 2,
+    });
+    match cfg.split {
+        SplitStrategy::KMeansSweep {
+            seeds,
+            sample_fraction,
+        } => {
+            w.u8(0);
+            w.u64(seeds);
+            w.f64(sample_fraction);
+        }
+        SplitStrategy::KMeansSingle => w.u8(1),
+        SplitStrategy::RoundRobin => w.u8(2),
+    }
+    w.u8(match cfg.routing {
+        Routing::DocumentSampling => 0,
+        Routing::CentroidOnly => 1,
+        Routing::Unranked => 2,
+    });
+    w.u64(cfg.seed);
+}
+
+fn decode_config(r: &mut Reader<'_>) -> Result<HermesConfig, WireError> {
+    let num_clusters = r.u64()? as usize;
+    let sample_nprobe = r.u64()? as usize;
+    let deep_nprobe = r.u64()? as usize;
+    let clusters_to_search = r.u64()? as usize;
+    let k = r.u64()? as usize;
+    let codec = match r.u8()? {
+        0 => CodecSpec::Flat,
+        1 => CodecSpec::Sq8,
+        2 => CodecSpec::Sq4,
+        3 => CodecSpec::Pq {
+            m: r.u64()? as usize,
+        },
+        4 => CodecSpec::Opq {
+            m: r.u64()? as usize,
+        },
+        t => return Err(WireError::Corrupt(format!("bad codec spec tag {t}"))),
+    };
+    let metric = match r.u8()? {
+        0 => Metric::L2,
+        1 => Metric::InnerProduct,
+        2 => Metric::Cosine,
+        t => return Err(WireError::Corrupt(format!("bad metric tag {t}"))),
+    };
+    let split = match r.u8()? {
+        0 => SplitStrategy::KMeansSweep {
+            seeds: r.u64()?,
+            sample_fraction: r.f64()?,
+        },
+        1 => SplitStrategy::KMeansSingle,
+        2 => SplitStrategy::RoundRobin,
+        t => return Err(WireError::Corrupt(format!("bad split tag {t}"))),
+    };
+    let routing = match r.u8()? {
+        0 => Routing::DocumentSampling,
+        1 => Routing::CentroidOnly,
+        2 => Routing::Unranked,
+        t => return Err(WireError::Corrupt(format!("bad routing tag {t}"))),
+    };
+    let seed = r.u64()?;
+    Ok(HermesConfig {
+        num_clusters,
+        sample_nprobe,
+        deep_nprobe,
+        clusters_to_search,
+        k,
+        codec,
+        metric,
+        split,
+        routing,
+        seed,
+    })
+}
+
+impl ClusteredStore {
+    /// Serializes the full store: configuration, split centroids and every
+    /// shard index.
+    pub fn to_bytes(&self) -> bytes::Bytes {
+        let mut w = Writer::new();
+        w.header(MAGIC, VERSION);
+        encode_config(&mut w, self.config());
+        w.mat(self.split_centroids_mat());
+        w.u64s(
+            &self
+                .cluster_sizes()
+                .iter()
+                .map(|&s| s as u64)
+                .collect::<Vec<_>>(),
+        );
+        w.u64(self.chosen_seed());
+        w.u64(self.num_clusters() as u64);
+        for c in 0..self.num_clusters() {
+            w.bytes(&self.shard(c).to_bytes());
+        }
+        w.finish()
+    }
+
+    /// Reconstructs a store serialized with [`Self::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for truncated or corrupt payloads.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(buf);
+        r.header(MAGIC, VERSION)?;
+        let config = decode_config(&mut r)?;
+        let split_centroids = r.mat()?;
+        let sizes: Vec<usize> = r.u64s()?.into_iter().map(|s| s as usize).collect();
+        let chosen_seed = r.u64()?;
+        let n = r.u64()? as usize;
+        if n != split_centroids.rows() || n != sizes.len() {
+            return Err(WireError::Corrupt("shard count mismatch".into()));
+        }
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            let blob = r.bytes()?;
+            shards.push(IvfIndex::from_bytes(&blob)?);
+        }
+        Ok(ClusteredStore::from_parts(
+            config,
+            shards,
+            split_centroids,
+            sizes,
+            chosen_seed,
+        ))
+    }
+
+    /// Writes the serialized store to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Loads a store saved with [`Self::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; decode failures surface as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let buf = std::fs::read(path)?;
+        ClusteredStore::from_bytes(&buf)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Inserts a new document online: routes it to the cluster with the
+    /// nearest split centroid and streams it into that shard's IVF index.
+    /// Returns the chosen cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HermesError::Index`] on dimension mismatch.
+    pub fn insert(&mut self, id: u64, v: &[f32]) -> Result<usize, HermesError> {
+        let dim = self.split_centroids_mat().cols();
+        if v.len() != dim {
+            return Err(HermesError::Index(
+                hermes_index::IndexError::DimensionMismatch {
+                    expected: dim,
+                    got: v.len(),
+                },
+            ));
+        }
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for c in 0..self.num_clusters() {
+            let d = l2_sq(self.split_centroid(c), v);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        self.shard_mut(best).add(id, v)?;
+        self.bump_size(best);
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_datagen::{Corpus, CorpusSpec};
+
+    fn store() -> (Corpus, ClusteredStore) {
+        let corpus = Corpus::generate(CorpusSpec::new(500, 12, 5).with_seed(61));
+        let cfg = HermesConfig::new(5)
+            .with_clusters_to_search(2)
+            .with_seed(62);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        (corpus, store)
+    }
+
+    #[test]
+    fn store_round_trips_through_bytes() {
+        let (corpus, store) = store();
+        let loaded = ClusteredStore::from_bytes(&store.to_bytes()).unwrap();
+        assert_eq!(loaded.num_clusters(), store.num_clusters());
+        assert_eq!(loaded.cluster_sizes(), store.cluster_sizes());
+        assert_eq!(loaded.chosen_seed(), store.chosen_seed());
+        assert_eq!(loaded.config(), store.config());
+        for q in corpus.embeddings().iter_rows().take(10) {
+            assert_eq!(
+                loaded.hierarchical_search(q).unwrap(),
+                store.hierarchical_search(q).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn store_round_trips_through_filesystem() {
+        let (corpus, store) = store();
+        let path = std::env::temp_dir().join("hermes_store_roundtrip.hcls");
+        store.save(&path).unwrap();
+        let loaded = ClusteredStore::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let q = corpus.embeddings().row(0);
+        assert_eq!(
+            loaded.hierarchical_search(q).unwrap().hits,
+            store.hierarchical_search(q).unwrap().hits
+        );
+    }
+
+    #[test]
+    fn corrupt_store_is_rejected() {
+        let (_, store) = store();
+        let buf = store.to_bytes();
+        assert!(ClusteredStore::from_bytes(&buf[..buf.len() - 9]).is_err());
+        assert!(ClusteredStore::from_bytes(b"junk").is_err());
+    }
+
+    #[test]
+    fn online_insert_routes_to_topical_cluster_and_is_searchable() {
+        let (corpus, mut store) = store();
+        // Insert a document pointing along a split centroid but with a
+        // larger norm, so under inner product it dominates every unit
+        // vector in the corpus; it must land in that cluster and become
+        // retrievable.
+        let mut target = store.split_centroid(3).to_vec();
+        hermes_math::distance::normalize(&mut target);
+        hermes_math::distance::scale(&mut target, 2.0);
+        let before = store.cluster_sizes()[3];
+        let cluster = store.insert(99_999, &target).unwrap();
+        assert_eq!(cluster, 3);
+        assert_eq!(store.cluster_sizes()[3], before + 1);
+        assert_eq!(store.len(), corpus.len() + 1);
+        let out = store.hierarchical_search(&target).unwrap();
+        assert!(
+            out.hits.iter().any(|n| n.id == 99_999),
+            "freshly inserted document should be retrieved: {:?}",
+            out.hits
+        );
+    }
+
+    #[test]
+    fn insert_rejects_wrong_dimension() {
+        let (_, mut store) = store();
+        assert!(matches!(
+            store.insert(1, &[1.0, 2.0]),
+            Err(HermesError::Index(_))
+        ));
+    }
+
+    #[test]
+    fn inserts_survive_persistence() {
+        let (_, mut store) = store();
+        let mut v = store.split_centroid(1).to_vec();
+        hermes_math::distance::normalize(&mut v);
+        hermes_math::distance::scale(&mut v, 2.0);
+        store.insert(77_777, &v).unwrap();
+        let loaded = ClusteredStore::from_bytes(&store.to_bytes()).unwrap();
+        let out = loaded.hierarchical_search(&v).unwrap();
+        assert!(out.hits.iter().any(|n| n.id == 77_777));
+    }
+}

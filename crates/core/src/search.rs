@@ -1,0 +1,436 @@
+//! The hierarchical sample → rank → deep-search → rerank algorithm
+//! (paper Section 4.2).
+
+use hermes_index::{SearchParams, VectorIndex};
+use hermes_math::{topk::merge_topk, Metric, Neighbor};
+use serde::{Deserialize, Serialize};
+
+use crate::config::Routing;
+use crate::store::ClusteredStore;
+use crate::HermesError;
+
+/// Work performed by one search phase, in scanned codes — the quantity
+/// the performance model converts to latency and joules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SearchPhaseCost {
+    /// Vector codes scored during this phase.
+    pub scanned_codes: usize,
+    /// Clusters touched during this phase.
+    pub clusters_touched: usize,
+}
+
+/// Outcome of one hierarchical search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Global top-k hits, best first.
+    pub hits: Vec<Neighbor>,
+    /// All clusters ranked by routing score, best first.
+    pub ranked_clusters: Vec<usize>,
+    /// The clusters that received a deep search (a prefix of
+    /// `ranked_clusters`).
+    pub searched_clusters: Vec<usize>,
+    /// Sampling-phase work.
+    pub sample_cost: SearchPhaseCost,
+    /// Deep-phase work, summed over searched clusters.
+    pub deep_cost: SearchPhaseCost,
+}
+
+impl ClusteredStore {
+    /// Ranks every cluster for `query` without deep-searching any —
+    /// phase 1+2 of the hierarchical search, also used standalone for
+    /// access-frequency analyses (Figure 13).
+    ///
+    /// Returns `(ranked_clusters, sampling_cost)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index errors (dimension mismatch).
+    pub fn route(&self, query: &[f32]) -> Result<(Vec<usize>, SearchPhaseCost), HermesError> {
+        let cfg = self.config();
+        match cfg.routing {
+            Routing::DocumentSampling => {
+                let params = SearchParams::new().with_nprobe(cfg.sample_nprobe);
+                let mut scored: Vec<(usize, f32)> = Vec::with_capacity(self.num_clusters());
+                let mut scanned = 0usize;
+                for c in 0..self.num_clusters() {
+                    let shard = self.shard(c);
+                    let hits = shard.search(query, 1, &params)?;
+                    scanned += shard.probe_cost(query, cfg.sample_nprobe);
+                    let score = hits.first().map_or(f32::NEG_INFINITY, |h| h.score);
+                    scored.push((c, score));
+                }
+                scored.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.0.cmp(&b.0))
+                });
+                Ok((
+                    scored.into_iter().map(|(c, _)| c).collect(),
+                    SearchPhaseCost {
+                        scanned_codes: scanned,
+                        clusters_touched: self.num_clusters(),
+                    },
+                ))
+            }
+            Routing::CentroidOnly => {
+                let metric = cfg.metric;
+                let mut scored: Vec<(usize, f32)> = (0..self.num_clusters())
+                    .map(|c| (c, rank_score(metric, query, self.split_centroid(c))))
+                    .collect();
+                scored.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.0.cmp(&b.0))
+                });
+                Ok((
+                    scored.into_iter().map(|(c, _)| c).collect(),
+                    SearchPhaseCost {
+                        // Centroid ranking scans one vector per cluster.
+                        scanned_codes: self.num_clusters(),
+                        clusters_touched: self.num_clusters(),
+                    },
+                ))
+            }
+            Routing::Unranked => Ok((
+                (0..self.num_clusters()).collect(),
+                SearchPhaseCost::default(),
+            )),
+        }
+    }
+
+    /// Runs the full hierarchical search for `query` using the store's
+    /// configuration (sample `nProbe`, deep `nProbe`, `clusters_to_search`,
+    /// `k`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates index errors (dimension mismatch, empty shards).
+    pub fn hierarchical_search(&self, query: &[f32]) -> Result<SearchOutcome, HermesError> {
+        let cfg = *self.config();
+        let (ranked, sample_cost) = self.route(query)?;
+        let m = cfg.clusters_to_search.min(ranked.len());
+        let searched: Vec<usize> = ranked[..m].to_vec();
+
+        let deep_params = SearchParams::new().with_nprobe(cfg.deep_nprobe);
+        let mut per_cluster = Vec::with_capacity(m);
+        let mut deep_scanned = 0usize;
+        for &c in &searched {
+            let shard = self.shard(c);
+            per_cluster.push(shard.search(query, cfg.k, &deep_params)?);
+            deep_scanned += shard.probe_cost(query, cfg.deep_nprobe);
+        }
+        let hits = merge_topk(&per_cluster, cfg.k);
+
+        Ok(SearchOutcome {
+            hits,
+            ranked_clusters: ranked,
+            searched_clusters: searched,
+            sample_cost,
+            deep_cost: SearchPhaseCost {
+                scanned_codes: deep_scanned,
+                clusters_touched: m,
+            },
+        })
+    }
+
+    /// Runs hierarchical searches for a whole batch, optionally fanned
+    /// out over `threads` OS threads (one query per thread, FAISS-style
+    /// work stealing — how the paper's retriever consumes batches).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-query error encountered.
+    pub fn batch_hierarchical_search(
+        &self,
+        queries: &[Vec<f32>],
+        threads: usize,
+    ) -> Result<Vec<SearchOutcome>, HermesError> {
+        if threads <= 1 || queries.len() <= 1 {
+            return queries.iter().map(|q| self.hierarchical_search(q)).collect();
+        }
+        let chunk = queries.len().div_ceil(threads);
+        let mut partials: Vec<Result<Vec<SearchOutcome>, HermesError>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|qs| {
+                    scope.spawn(move |_| {
+                        qs.iter()
+                            .map(|q| self.hierarchical_search(q))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("search worker panicked"));
+            }
+        })
+        .expect("thread scope failed");
+        let mut out = Vec::with_capacity(queries.len());
+        for p in partials {
+            out.extend(p?);
+        }
+        Ok(out)
+    }
+
+    /// Runs the routing + deep-search for every query and returns how
+    /// often each cluster was deep-searched — the access-frequency trace
+    /// of Figures 13/18 and the input to the DVFS study.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-query error.
+    pub fn access_histogram(
+        &self,
+        queries: &[Vec<f32>],
+    ) -> Result<Vec<usize>, HermesError> {
+        let mut counts = vec![0usize; self.num_clusters()];
+        for q in queries {
+            let out = self.hierarchical_search(q)?;
+            for &c in &out.searched_clusters {
+                counts[c] += 1;
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Exhaustively deep-searches *all* clusters and merges — the naive
+    /// distributed baseline Hermes is compared against (Figure 18).
+    ///
+    /// # Errors
+    ///
+    /// Propagates index errors.
+    pub fn search_all_clusters(&self, query: &[f32]) -> Result<SearchOutcome, HermesError> {
+        let cfg = *self.config();
+        let deep_params = SearchParams::new().with_nprobe(cfg.deep_nprobe);
+        let mut per_cluster = Vec::with_capacity(self.num_clusters());
+        let mut deep_scanned = 0usize;
+        for c in 0..self.num_clusters() {
+            let shard = self.shard(c);
+            per_cluster.push(shard.search(query, cfg.k, &deep_params)?);
+            deep_scanned += shard.probe_cost(query, cfg.deep_nprobe);
+        }
+        let hits = merge_topk(&per_cluster, cfg.k);
+        let all: Vec<usize> = (0..self.num_clusters()).collect();
+        Ok(SearchOutcome {
+            hits,
+            ranked_clusters: all.clone(),
+            searched_clusters: all,
+            sample_cost: SearchPhaseCost::default(),
+            deep_cost: SearchPhaseCost {
+                scanned_codes: deep_scanned,
+                clusters_touched: self.num_clusters(),
+            },
+        })
+    }
+}
+
+fn rank_score(metric: Metric, query: &[f32], centroid: &[f32]) -> f32 {
+    metric.similarity(query, centroid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{HermesConfig, Routing, SplitStrategy};
+    use hermes_datagen::{Corpus, CorpusSpec, QuerySet, QuerySpec};
+    use hermes_index::FlatIndex;
+    use hermes_metrics::{ndcg_at_k, ranking::ids};
+    use hermes_quant::CodecSpec;
+
+    fn setup() -> (Corpus, QuerySet) {
+        let corpus = Corpus::generate(CorpusSpec::new(1200, 24, 8).with_seed(7));
+        let queries = QuerySet::generate(&corpus, QuerySpec::new(30).with_seed(8));
+        (corpus, queries)
+    }
+
+    fn truth(corpus: &Corpus, query: &[f32], k: usize) -> Vec<u64> {
+        let flat = FlatIndex::new(corpus.embeddings().clone(), hermes_math::Metric::InnerProduct);
+        ids(&flat.search(query, k, &SearchParams::new()).unwrap())
+    }
+
+    #[test]
+    fn hierarchical_search_returns_k_hits() {
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(8).with_seed(1).with_k(5);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let out = store
+            .hierarchical_search(queries.embeddings().row(0))
+            .unwrap();
+        assert_eq!(out.hits.len(), 5);
+        assert_eq!(out.searched_clusters.len(), 3);
+        assert_eq!(out.ranked_clusters.len(), 8);
+        assert!(out.sample_cost.scanned_codes > 0);
+        assert!(out.deep_cost.scanned_codes > out.sample_cost.scanned_codes);
+    }
+
+    #[test]
+    fn searched_clusters_are_prefix_of_ranking() {
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(8).with_seed(1);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let out = store
+            .hierarchical_search(queries.embeddings().row(3))
+            .unwrap();
+        assert_eq!(out.searched_clusters[..], out.ranked_clusters[..3]);
+    }
+
+    #[test]
+    fn hermes_matches_full_search_quality_with_3_of_8_clusters() {
+        // The Figure 11 headline: document-sampled routing reaches
+        // iso-accuracy with a small number of deep-searched clusters.
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(8)
+            .with_seed(1)
+            .with_clusters_to_search(3)
+            .with_codec(CodecSpec::Sq8);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let mut scores = Vec::new();
+        for q in queries.embeddings().iter_rows() {
+            let t = truth(&corpus, q, 5);
+            let got = store.hierarchical_search(q).unwrap();
+            scores.push(ndcg_at_k(&t, &ids(&got.hits), 5));
+        }
+        let mean = hermes_metrics::ranking::mean(scores);
+        assert!(mean > 0.85, "Hermes NDCG {mean}");
+    }
+
+    #[test]
+    fn sampling_routing_beats_round_robin_split() {
+        let (corpus, queries) = setup();
+        let hermes_cfg = HermesConfig::new(8).with_seed(1).with_clusters_to_search(2);
+        let naive_cfg = hermes_cfg
+            .with_split(SplitStrategy::RoundRobin)
+            .with_routing(Routing::Unranked);
+        let hermes = ClusteredStore::build(corpus.embeddings(), &hermes_cfg).unwrap();
+        let naive = ClusteredStore::build(corpus.embeddings(), &naive_cfg).unwrap();
+        let mut h_sum = 0.0;
+        let mut n_sum = 0.0;
+        for q in queries.embeddings().iter_rows() {
+            let t = truth(&corpus, q, 5);
+            h_sum += ndcg_at_k(&t, &ids(&hermes.hierarchical_search(q).unwrap().hits), 5);
+            n_sum += ndcg_at_k(&t, &ids(&naive.hierarchical_search(q).unwrap().hits), 5);
+        }
+        assert!(
+            h_sum > n_sum * 1.2,
+            "hermes {h_sum} vs naive {n_sum}: clustered routing should win clearly"
+        );
+    }
+
+    #[test]
+    fn document_sampling_not_worse_than_centroid_ranking() {
+        let (corpus, queries) = setup();
+        let base = HermesConfig::new(8).with_seed(1).with_clusters_to_search(2);
+        let sampled = ClusteredStore::build(corpus.embeddings(), &base).unwrap();
+        let centroid = ClusteredStore::build(
+            corpus.embeddings(),
+            &base.with_routing(Routing::CentroidOnly),
+        )
+        .unwrap();
+        let mut s_sum = 0.0;
+        let mut c_sum = 0.0;
+        for q in queries.embeddings().iter_rows() {
+            let t = truth(&corpus, q, 5);
+            s_sum += ndcg_at_k(&t, &ids(&sampled.hierarchical_search(q).unwrap().hits), 5);
+            c_sum += ndcg_at_k(&t, &ids(&centroid.hierarchical_search(q).unwrap().hits), 5);
+        }
+        assert!(s_sum >= c_sum * 0.97, "sampling {s_sum} vs centroid {c_sum}");
+    }
+
+    #[test]
+    fn search_all_clusters_recovers_union_quality() {
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(8).with_seed(1).with_codec(CodecSpec::Flat);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        for q in queries.embeddings().iter_rows().take(10) {
+            let t = truth(&corpus, q, 5);
+            let all = store.search_all_clusters(q).unwrap();
+            // Full fan-out over Flat-coded shards with nprobe 128 is
+            // essentially exact.
+            let ndcg = ndcg_at_k(&t, &ids(&all.hits), 5);
+            assert!(ndcg > 0.95, "ndcg {ndcg}");
+        }
+    }
+
+    #[test]
+    fn more_clusters_searched_never_reduces_ndcg_much() {
+        let (corpus, queries) = setup();
+        let mut prev = 0.0f64;
+        for m in [1usize, 3, 8] {
+            let cfg = HermesConfig::new(8).with_seed(1).with_clusters_to_search(m);
+            let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+            let mut sum = 0.0;
+            for q in queries.embeddings().iter_rows() {
+                let t = truth(&corpus, q, 5);
+                sum += ndcg_at_k(&t, &ids(&store.hierarchical_search(q).unwrap().hits), 5);
+            }
+            assert!(sum >= prev - 0.5, "m={m}: {sum} < {prev}");
+            prev = sum;
+        }
+    }
+
+    #[test]
+    fn route_and_search_agree_on_cluster_ranking() {
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(8).with_seed(1);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let q = queries.embeddings().row(5);
+        let (ranked, _) = store.route(q).unwrap();
+        let out = store.hierarchical_search(q).unwrap();
+        assert_eq!(ranked, out.ranked_clusters);
+    }
+
+    #[test]
+    fn access_histogram_counts_deep_searches() {
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(8).with_seed(1).with_clusters_to_search(3);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let qs: Vec<Vec<f32>> = queries
+            .embeddings()
+            .iter_rows()
+            .take(10)
+            .map(<[f32]>::to_vec)
+            .collect();
+        let hist = store.access_histogram(&qs).unwrap();
+        assert_eq!(hist.len(), 8);
+        assert_eq!(hist.iter().sum::<usize>(), 10 * 3);
+    }
+
+    #[test]
+    fn batch_search_matches_sequential() {
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(8).with_seed(1);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let qs: Vec<Vec<f32>> = queries
+            .embeddings()
+            .iter_rows()
+            .take(8)
+            .map(<[f32]>::to_vec)
+            .collect();
+        let sequential: Vec<_> = qs
+            .iter()
+            .map(|q| store.hierarchical_search(q).unwrap())
+            .collect();
+        let batched = store.batch_hierarchical_search(&qs, 4).unwrap();
+        assert_eq!(sequential, batched);
+    }
+
+    #[test]
+    fn batch_search_propagates_errors() {
+        let (corpus, _) = setup();
+        let cfg = HermesConfig::new(4).with_seed(1);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let bad = vec![vec![1.0f32, 2.0], vec![3.0, 4.0]];
+        assert!(store.batch_hierarchical_search(&bad, 2).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_propagates() {
+        let (corpus, _) = setup();
+        let store =
+            ClusteredStore::build(corpus.embeddings(), &HermesConfig::new(4).with_seed(1))
+                .unwrap();
+        let err = store.hierarchical_search(&[1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, HermesError::Index(_)));
+    }
+}

@@ -1,0 +1,400 @@
+//! The clustered, distributed datastore (paper Section 4.1).
+
+use hermes_kmeans::{KMeans, KMeansConfig, SeedSweep};
+use hermes_math::Mat;
+use hermes_index::{IvfIndex, VectorIndex};
+
+use crate::config::{HermesConfig, SplitStrategy};
+use crate::HermesError;
+
+/// Metadata about one cluster shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterInfo {
+    /// Cluster index (= node id in a 1:1 placement).
+    pub cluster: usize,
+    /// Number of documents in the shard.
+    pub size: usize,
+    /// Resident bytes of the shard's IVF index.
+    pub memory_bytes: usize,
+}
+
+/// A datastore split into per-node IVF indices.
+///
+/// Built with K-means (seed-swept by default) so similar documents land in
+/// the same shard; each shard carries its own IVF index over *global*
+/// document ids, so per-cluster results merge without translation.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_core::{ClusteredStore, HermesConfig};
+/// use hermes_math::Mat;
+///
+/// let rows: Vec<Vec<f32>> = (0..300)
+///     .map(|i| vec![(i % 3) as f32 * 10.0, (i / 3) as f32 * 0.01])
+///     .collect();
+/// let data = Mat::from_rows(&rows);
+/// let cfg = HermesConfig::new(3).with_clusters_to_search(1);
+/// let store = ClusteredStore::build(&data, &cfg)?;
+/// assert_eq!(store.num_clusters(), 3);
+/// # Ok::<(), hermes_core::HermesError>(())
+/// ```
+#[derive(Debug)]
+pub struct ClusteredStore {
+    config: HermesConfig,
+    shards: Vec<IvfIndex>,
+    /// K-means centroid of each shard in the original embedding space
+    /// (used by centroid-only routing and diagnostics).
+    split_centroids: Mat,
+    sizes: Vec<usize>,
+    /// Winning seed of the imbalance sweep (equals `config.seed` when no
+    /// sweep ran).
+    chosen_seed: u64,
+}
+
+impl ClusteredStore {
+    /// Splits `data` into `config.num_clusters` shards and builds one IVF
+    /// index per shard, with implicit global ids `0..n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HermesError::InvalidConfig`] for inconsistent configs and
+    /// [`HermesError::Index`] if any shard fails to build (e.g. empty
+    /// data).
+    pub fn build(data: &Mat, config: &HermesConfig) -> Result<Self, HermesError> {
+        config.validate()?;
+        if data.rows() == 0 {
+            return Err(HermesError::Index(hermes_index::IndexError::Empty));
+        }
+        let c = config.num_clusters.min(data.rows());
+
+        // --- Step 1: dataset disaggregation. ---
+        let (assignments, split_centroids, chosen_seed) = match config.split {
+            SplitStrategy::KMeansSweep {
+                seeds,
+                sample_fraction,
+            } => {
+                let sweep = SeedSweep::new(
+                    KMeansConfig::new(c).with_seed(config.seed),
+                    seeds,
+                )
+                .with_subsample(sample_fraction, config.seed);
+                let result = sweep.run(data);
+                // Warm-start the full-data refinement from the winning
+                // subsample centroids so the sweep's low imbalance
+                // transfers to the full split (Section 4.1).
+                let model = KMeans::train_from_centroids(
+                    data,
+                    result.best_centroids,
+                    &KMeansConfig::new(c).with_seed(result.best_seed),
+                );
+                (
+                    model.assignments().to_vec(),
+                    model.centroids().clone(),
+                    result.best_seed,
+                )
+            }
+            SplitStrategy::KMeansSingle => {
+                let model = KMeans::train(data, &KMeansConfig::new(c).with_seed(config.seed));
+                (
+                    model.assignments().to_vec(),
+                    model.centroids().clone(),
+                    config.seed,
+                )
+            }
+            SplitStrategy::RoundRobin => {
+                let assignments: Vec<u32> = (0..data.rows()).map(|i| (i % c) as u32).collect();
+                let centroids = mean_per_cluster(data, &assignments, c);
+                (assignments, centroids, config.seed)
+            }
+        };
+
+        // --- Step 2: one IVF index per shard over global ids. ---
+        let mut shard_rows: Vec<Vec<Vec<f32>>> = vec![Vec::new(); c];
+        let mut shard_ids: Vec<Vec<u64>> = vec![Vec::new(); c];
+        for (i, row) in data.iter_rows().enumerate() {
+            let s = assignments[i] as usize;
+            shard_rows[s].push(row.to_vec());
+            shard_ids[s].push(i as u64);
+        }
+
+        let mut shards = Vec::with_capacity(c);
+        let mut sizes = Vec::with_capacity(c);
+        for (s, (rows, ids)) in shard_rows.into_iter().zip(shard_ids).enumerate() {
+            // K-means can leave a shard empty on degenerate data; keep a
+            // sentinel one-vector shard so cluster indices stay aligned.
+            let (rows, ids) = if rows.is_empty() {
+                (vec![split_centroids.row(s).to_vec()], vec![u64::MAX])
+            } else {
+                (rows, ids)
+            };
+            sizes.push(ids.len());
+            let shard_data = Mat::from_rows(&rows);
+            let index = IvfIndex::builder()
+                .codec(config.codec)
+                .metric(config.metric)
+                .seed(hermes_math::rng::derive_seed(config.seed, s as u64))
+                .build_with_ids(&shard_data, ids)?;
+            shards.push(index);
+        }
+
+        Ok(ClusteredStore {
+            config: *config,
+            shards,
+            split_centroids,
+            sizes,
+            chosen_seed,
+        })
+    }
+
+    /// The configuration the store was built with.
+    pub fn config(&self) -> &HermesConfig {
+        &self.config
+    }
+
+    /// Number of cluster shards.
+    pub fn num_clusters(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Documents per shard.
+    pub fn cluster_sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Max/min shard-size ratio — the paper's imbalance proxy.
+    pub fn imbalance(&self) -> f64 {
+        hermes_math::stats::imbalance_ratio(&self.sizes).unwrap_or(f64::INFINITY)
+    }
+
+    /// The seed chosen by the imbalance sweep.
+    pub fn chosen_seed(&self) -> u64 {
+        self.chosen_seed
+    }
+
+    /// Borrow one shard's index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster >= num_clusters()`.
+    pub fn shard(&self, cluster: usize) -> &IvfIndex {
+        &self.shards[cluster]
+    }
+
+    /// The split centroid of one shard.
+    pub fn split_centroid(&self, cluster: usize) -> &[f32] {
+        self.split_centroids.row(cluster)
+    }
+
+    /// The full split-centroid table.
+    pub fn split_centroids_mat(&self) -> &Mat {
+        &self.split_centroids
+    }
+
+    /// Mutable access to one shard (streaming-insert path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster >= num_clusters()`.
+    pub(crate) fn shard_mut(&mut self, cluster: usize) -> &mut IvfIndex {
+        &mut self.shards[cluster]
+    }
+
+    /// Records one inserted document in the size table.
+    pub(crate) fn bump_size(&mut self, cluster: usize) {
+        self.sizes[cluster] += 1;
+    }
+
+    /// Reassembles a store from persisted parts (see `persist`).
+    pub(crate) fn from_parts(
+        config: HermesConfig,
+        shards: Vec<IvfIndex>,
+        split_centroids: Mat,
+        sizes: Vec<usize>,
+        chosen_seed: u64,
+    ) -> Self {
+        ClusteredStore {
+            config,
+            shards,
+            split_centroids,
+            sizes,
+            chosen_seed,
+        }
+    }
+
+    /// Per-cluster metadata (size, memory).
+    pub fn cluster_infos(&self) -> Vec<ClusterInfo> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(cluster, shard)| ClusterInfo {
+                cluster,
+                size: self.sizes[cluster],
+                memory_bytes: shard.memory_bytes(),
+            })
+            .collect()
+    }
+
+    /// Total resident bytes across shards.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(VectorIndex::memory_bytes).sum()
+    }
+
+    /// Total documents stored.
+    pub fn len(&self) -> usize {
+        self.sizes.iter().sum()
+    }
+
+    /// Whether the store holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn mean_per_cluster(data: &Mat, assignments: &[u32], c: usize) -> Mat {
+    let mut sums = Mat::zeros(c, data.cols());
+    let mut counts = vec![0usize; c];
+    for (i, row) in data.iter_rows().enumerate() {
+        let s = assignments[i] as usize;
+        hermes_math::distance::add_assign(sums.row_mut(s), row);
+        counts[s] += 1;
+    }
+    for (s, &count) in counts.iter().enumerate() {
+        if count > 0 {
+            hermes_math::distance::scale(sums.row_mut(s), 1.0 / count as f32);
+        }
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_datagen::{Corpus, CorpusSpec};
+
+    fn corpus() -> Corpus {
+        Corpus::generate(CorpusSpec::new(600, 16, 6).with_seed(1))
+    }
+
+    #[test]
+    fn build_produces_requested_clusters() {
+        let c = corpus();
+        let cfg = HermesConfig::new(6).with_seed(3);
+        let store = ClusteredStore::build(c.embeddings(), &cfg).unwrap();
+        assert_eq!(store.num_clusters(), 6);
+        assert_eq!(store.len(), 600);
+    }
+
+    #[test]
+    fn kmeans_split_groups_topics_together() {
+        let c = corpus();
+        let cfg = HermesConfig::new(6).with_seed(3);
+        let store = ClusteredStore::build(c.embeddings(), &cfg).unwrap();
+        // With crisp topics, clusters should be much purer than random:
+        // measure the average dominant-topic share per shard by checking
+        // where each document's id landed.
+        // Reconstruct shard membership: search each document in every
+        // shard and see which contains it.
+        let mut shard_of = vec![0usize; 600];
+        for (doc, row) in c.embeddings().iter_rows().enumerate() {
+            let mut found = None;
+            for cl in 0..store.num_clusters() {
+                let hits = store
+                    .shard(cl)
+                    .search(
+                        row,
+                        1,
+                        &hermes_index::SearchParams::new().with_nprobe(64),
+                    )
+                    .unwrap();
+                if hits.first().map(|h| h.id) == Some(doc as u64) {
+                    found = Some(cl);
+                    break;
+                }
+            }
+            shard_of[doc] = found.unwrap_or(usize::MAX);
+        }
+        let mut purity_num = 0usize;
+        for cl in 0..store.num_clusters() {
+            let members: Vec<usize> = (0..600).filter(|&d| shard_of[d] == cl).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut counts = std::collections::HashMap::new();
+            for &m in &members {
+                *counts.entry(c.topic_of()[m]).or_insert(0usize) += 1;
+            }
+            purity_num += counts.values().max().copied().unwrap_or(0);
+        }
+        let purity = purity_num as f64 / 600.0;
+        assert!(purity > 0.8, "cluster purity {purity}");
+    }
+
+    #[test]
+    fn round_robin_split_is_perfectly_balanced() {
+        let c = corpus();
+        let cfg = HermesConfig::new(6)
+            .with_seed(3)
+            .with_split(SplitStrategy::RoundRobin);
+        let store = ClusteredStore::build(c.embeddings(), &cfg).unwrap();
+        assert_eq!(store.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn seed_sweep_does_not_worsen_imbalance() {
+        let c = corpus();
+        let single = ClusteredStore::build(
+            c.embeddings(),
+            &HermesConfig::new(6)
+                .with_seed(3)
+                .with_split(SplitStrategy::KMeansSingle),
+        )
+        .unwrap();
+        let swept = ClusteredStore::build(
+            c.embeddings(),
+            &HermesConfig::new(6).with_seed(3).with_split(
+                SplitStrategy::KMeansSweep {
+                    seeds: 6,
+                    sample_fraction: 0.5,
+                },
+            ),
+        )
+        .unwrap();
+        assert!(swept.imbalance() <= single.imbalance() * 1.5);
+    }
+
+    #[test]
+    fn cluster_infos_align_with_sizes() {
+        let c = corpus();
+        let store =
+            ClusteredStore::build(c.embeddings(), &HermesConfig::new(4).with_seed(5)).unwrap();
+        let infos = store.cluster_infos();
+        assert_eq!(infos.len(), 4);
+        for info in &infos {
+            assert_eq!(info.size, store.cluster_sizes()[info.cluster]);
+            assert!(info.memory_bytes > 0);
+        }
+        assert_eq!(store.memory_bytes(), infos.iter().map(|i| i.memory_bytes).sum());
+    }
+
+    #[test]
+    fn empty_data_rejected() {
+        let err = ClusteredStore::build(
+            &Mat::zeros(0, 4),
+            &HermesConfig::new(2).with_clusters_to_search(1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, HermesError::Index(_)));
+    }
+
+    #[test]
+    fn invalid_config_rejected_before_building() {
+        let c = corpus();
+        let err = ClusteredStore::build(
+            c.embeddings(),
+            &HermesConfig::new(2).with_clusters_to_search(3),
+        )
+        .unwrap_err();
+        assert!(matches!(err, HermesError::InvalidConfig(_)));
+    }
+}

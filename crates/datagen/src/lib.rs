@@ -1,0 +1,31 @@
+//! Synthetic data generation — the stand-in for the paper's datasets.
+//!
+//! The paper evaluates on SPHERE (a pre-encoded Common Crawl subset) with
+//! TriviaQA and Natural Questions queries. Those assets are not available
+//! offline, so this crate generates workloads with the *properties the
+//! Hermes mechanisms exploit*, each controlled explicitly:
+//!
+//! * **Topical cluster structure** ([`corpus`]): documents are drawn from
+//!   a mixture of Gaussian topics, so K-means disaggregation can discover
+//!   coherent partitions — the property behind Figure 11's accuracy gap
+//!   between clustered and naively split datastores.
+//! * **Skewed query interest** ([`query`], [`zipf`]): queries concentrate
+//!   on popular topics with Zipf-like frequencies, producing the cluster
+//!   access-frequency imbalance of Figure 13.
+//! * **Token-scale accounting** ([`scale`]): maps datastore token counts
+//!   (100M…1T) to chunk counts and index bytes so the performance model
+//!   can reason about sizes no laptop can materialize.
+//! * **Chunk payloads** ([`chunks`]): deterministic synthetic document
+//!   chunks for the RAG augmentation step.
+
+pub mod chunks;
+pub mod corpus;
+pub mod query;
+pub mod scale;
+pub mod zipf;
+
+pub use chunks::ChunkStore;
+pub use corpus::{Corpus, CorpusSpec};
+pub use query::{QuerySet, QuerySpec};
+pub use scale::DatastoreScale;
+pub use zipf::ZipfSampler;

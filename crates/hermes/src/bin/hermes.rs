@@ -1,0 +1,266 @@
+//! `hermes` — command-line front end for the reproduction.
+//!
+//! Mirrors the paper artifact's workflow (Appendix A.5): offline index
+//! construction, accuracy evaluation and online serving, as subcommands:
+//!
+//! ```text
+//! hermes build  --docs 20000 --dim 64 --topics 10 --clusters 10 --out store.hcls
+//! hermes info   --store store.hcls
+//! hermes search --store store.hcls --query "what is in the datastore" --k 5
+//! hermes eval   --docs 10000 --dim 48 --topics 10 --clusters 10 --queries 40
+//! hermes plan   --tokens 100000000000 --batch 128 --stride 16
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use hermes::datagen::scale::format_tokens;
+use hermes::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "build" => cmd_build(&opts),
+        "info" => cmd_info(&opts),
+        "search" => cmd_search(&opts),
+        "eval" => cmd_eval(&opts),
+        "plan" => cmd_plan(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "hermes — Hermes RAG-at-scale reproduction CLI
+
+USAGE:
+  hermes build  --out <file> [--docs N] [--dim D] [--topics T]
+                [--clusters C] [--deep M] [--seed S]
+  hermes info   --store <file>
+  hermes search --store <file> --query <text> [--k K]
+  hermes eval   [--docs N] [--dim D] [--topics T] [--clusters C]
+                [--deep M] [--queries Q] [--seed S]
+  hermes plan   --tokens <count> [--batch B] [--stride S] [--nprobe P]
+
+Defaults: docs 20000, dim 64, topics 10, clusters 10, deep 3, k 5,
+queries 40, seed 42, batch 128, stride 16, nprobe 128.";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut out = Flags::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got `{}`", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} is missing a value"))?;
+        out.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn get_usize(opts: &Flags, key: &str, default: usize) -> Result<usize, String> {
+    match opts.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key} wants an integer, got `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn get_u64(opts: &Flags, key: &str, default: u64) -> Result<u64, String> {
+    match opts.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key} wants an integer, got `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn require<'a>(opts: &'a Flags, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("--{key} is required"))
+}
+
+fn build_config(opts: &Flags) -> Result<(CorpusSpec, HermesConfig), String> {
+    let docs = get_usize(opts, "docs", 20_000)?;
+    let dim = get_usize(opts, "dim", 64)?;
+    let topics = get_usize(opts, "topics", 10)?;
+    let clusters = get_usize(opts, "clusters", 10)?;
+    let deep = get_usize(opts, "deep", 3)?;
+    let k = get_usize(opts, "k", 5)?;
+    let seed = get_u64(opts, "seed", 42)?;
+    let spec = CorpusSpec::new(docs, dim, topics).with_seed(seed);
+    let cfg = HermesConfig::new(clusters)
+        .with_clusters_to_search(deep)
+        .with_k(k)
+        .with_seed(seed.wrapping_add(1));
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok((spec, cfg))
+}
+
+fn cmd_build(opts: &Flags) -> Result<(), String> {
+    let out = require(opts, "out")?;
+    let (spec, cfg) = build_config(opts)?;
+    println!(
+        "generating corpus: {} docs, {} dims, {} topics (seed {})",
+        spec.num_docs, spec.dim, spec.num_topics, spec.seed
+    );
+    let corpus = Corpus::generate(spec);
+    println!("building clustered store ({} clusters)...", cfg.num_clusters);
+    let store = ClusteredStore::build(corpus.embeddings(), &cfg).map_err(|e| e.to_string())?;
+    store.save(out).map_err(|e| e.to_string())?;
+    println!(
+        "saved {} ({} docs, {} clusters, imbalance {:.2}x, {:.1} MB resident)",
+        out,
+        store.len(),
+        store.num_clusters(),
+        store.imbalance(),
+        store.memory_bytes() as f64 / 1e6,
+    );
+    Ok(())
+}
+
+fn load_store(opts: &Flags) -> Result<ClusteredStore, String> {
+    let path = require(opts, "store")?;
+    ClusteredStore::load(path).map_err(|e| format!("cannot load `{path}`: {e}"))
+}
+
+fn cmd_info(opts: &Flags) -> Result<(), String> {
+    let store = load_store(opts)?;
+    let cfg = store.config();
+    println!(
+        "clusters {}  docs {}  imbalance {:.2}x  resident {:.1} MB",
+        store.num_clusters(),
+        store.len(),
+        store.imbalance(),
+        store.memory_bytes() as f64 / 1e6
+    );
+    println!(
+        "config: sample nProbe {}, deep nProbe {}, deep clusters {}, k {}, codec {}, metric {}",
+        cfg.sample_nprobe, cfg.deep_nprobe, cfg.clusters_to_search, cfg.k, cfg.codec, cfg.metric
+    );
+    for info in store.cluster_infos() {
+        println!(
+            "  cluster {:>2}: {:>8} docs  {:>10.2} KB",
+            info.cluster,
+            info.size,
+            info.memory_bytes as f64 / 1e3
+        );
+    }
+    Ok(())
+}
+
+fn cmd_search(opts: &Flags) -> Result<(), String> {
+    let store = load_store(opts)?;
+    let query_text = require(opts, "query")?;
+    let k = get_usize(opts, "k", store.config().k)?;
+    let dim = store.split_centroids_mat().cols();
+    let query = HashEncoder::new(dim).encode(query_text);
+    let out = store.hierarchical_search(&query).map_err(|e| e.to_string())?;
+    println!(
+        "routed to clusters {:?} (of {:?})",
+        out.searched_clusters, out.ranked_clusters
+    );
+    for (rank, hit) in out.hits.iter().take(k).enumerate() {
+        println!("  {:>2}. doc {:>10}  score {:+.4}", rank + 1, hit.id, hit.score);
+    }
+    println!(
+        "work: {} sampled + {} deep codes scanned",
+        out.sample_cost.scanned_codes, out.deep_cost.scanned_codes
+    );
+    Ok(())
+}
+
+fn cmd_eval(opts: &Flags) -> Result<(), String> {
+    let (spec, cfg) = build_config(opts)?;
+    let num_queries = get_usize(opts, "queries", 40)?;
+    let corpus = Corpus::generate(spec);
+    let queries = QuerySet::generate(
+        &corpus,
+        QuerySpec::new(num_queries).with_seed(spec.seed.wrapping_add(7)),
+    );
+    let oracle = FlatIndex::new(corpus.embeddings().clone(), cfg.metric);
+
+    println!("strategy        mean NDCG@{}   codes/query", cfg.k);
+    for kind in [
+        RetrieverKind::Monolithic,
+        RetrieverKind::NaiveSplit,
+        RetrieverKind::CentroidRouted,
+        RetrieverKind::Hermes,
+    ] {
+        let retriever =
+            Retriever::build(kind, corpus.embeddings(), &cfg).map_err(|e| e.to_string())?;
+        let mut ndcg_sum = 0.0;
+        let mut codes = 0usize;
+        for q in queries.embeddings().iter_rows() {
+            let truth: Vec<u64> = oracle
+                .search(q, cfg.k, &SearchParams::new())
+                .map_err(|e| e.to_string())?
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let r = retriever.retrieve(q).map_err(|e| e.to_string())?;
+            let ids: Vec<u64> = r.hits.iter().map(|n| n.id).collect();
+            ndcg_sum += ndcg_at_k(&truth, &ids, cfg.k);
+            codes += r.scanned_codes;
+        }
+        println!(
+            "{:<15} {:>8.3}     {:>10}",
+            kind.to_string(),
+            ndcg_sum / num_queries as f64,
+            codes / num_queries
+        );
+    }
+    Ok(())
+}
+
+fn cmd_plan(opts: &Flags) -> Result<(), String> {
+    let tokens = get_u64(opts, "tokens", 0)?;
+    if tokens == 0 {
+        return Err("--tokens is required (e.g. --tokens 100000000000)".into());
+    }
+    let batch = get_usize(opts, "batch", 128)?;
+    let stride = get_usize(opts, "stride", 16)? as u32;
+    let nprobe = get_usize(opts, "nprobe", 128)?;
+    let planner = ClusterPlanner::default();
+    let per = planner.max_cluster_tokens(batch, nprobe, 512, stride);
+    let nodes = planner.nodes_required(tokens, batch, nprobe, 512, stride);
+    println!(
+        "datastore {}  batch {batch}  stride {stride}  nProbe {nprobe}",
+        format_tokens(tokens)
+    );
+    println!(
+        "max cluster size hiding under inference: {}",
+        format_tokens(per)
+    );
+    println!("nodes required: {nodes} ({} per node)", format_tokens(tokens / nodes as u64));
+    let retrieval = RetrievalModel::default();
+    println!(
+        "monolithic search: {:.2} s/batch  |  per-cluster search: {:.3} s/batch",
+        retrieval.batch_latency(tokens, batch, nprobe),
+        retrieval.batch_latency(tokens / nodes as u64, batch, nprobe)
+    );
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! Minimal IEEE 754 half-precision conversion.
+//!
+//! The paper's HNSW memory figure (Figure 4: 166 GB for a 10B-token index,
+//! ≈1660 bytes/vector at d=768) corresponds to fp16 vector storage plus
+//! graph links, so [`crate::HnswIndex`] supports an fp16 storage mode.
+//! Only round-trip conversion is needed — no arithmetic in half precision.
+
+/// Converts an `f32` to IEEE 754 binary16 bits (round-to-nearest-even),
+/// saturating to ±infinity on overflow.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let frac = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN.
+        let payload = if frac != 0 { 0x0200 } else { 0 };
+        return sign | 0x7C00 | payload;
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // Overflow -> infinity.
+        return sign | 0x7C00;
+    }
+    if unbiased >= -14 {
+        // Normal half.
+        let half_exp = ((unbiased + 15) as u16) << 10;
+        let mut half_frac = (frac >> 13) as u16;
+        // Round to nearest even on the truncated 13 bits.
+        let round_bits = frac & 0x1FFF;
+        if round_bits > 0x1000 || (round_bits == 0x1000 && (half_frac & 1) == 1) {
+            half_frac += 1;
+            if half_frac == 0x400 {
+                // Fraction carry into exponent.
+                return sign | (half_exp + 0x400);
+            }
+        }
+        return sign | half_exp | half_frac;
+    }
+    if unbiased >= -24 {
+        // Subnormal half: value = f * 2^-24 with f = mant >> shift.
+        let shift = (-unbiased - 1) as u32; // 14..=23
+        let mant = frac | 0x0080_0000;
+        let mut half_frac = (mant >> shift) as u16;
+        let rem = mant & ((1u32 << shift) - 1);
+        let half_point = 1u32 << (shift - 1);
+        if rem > half_point || (rem == half_point && (half_frac & 1) == 1) {
+            half_frac += 1;
+        }
+        // A carry to 0x400 lands exactly on the smallest normal half.
+        return sign | half_frac;
+    }
+    // Underflow -> signed zero.
+    sign
+}
+
+/// Converts IEEE 754 binary16 bits back to `f32`.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let frac = (h & 0x03FF) as u32;
+
+    let bits = if exp == 0 {
+        if frac == 0 {
+            sign
+        } else {
+            // Subnormal: value = frac * 2^-24; normalize to 1.m * 2^(-14-s).
+            let mut s = 0u32;
+            let mut f = frac;
+            while f & 0x0400 == 0 {
+                f <<= 1;
+                s += 1;
+            }
+            f &= 0x03FF;
+            sign | ((113 - s) << 23) | (f << 13)
+        }
+    } else if exp == 0x1F {
+        sign | 0x7F80_0000 | (frac << 13)
+    } else {
+        sign | ((exp + 112) << 23) | (frac << 13)
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for x in [-4.0f32, -1.0, -0.5, 0.0, 0.5, 1.0, 2.0, 3.0, 1024.0] {
+            assert_eq!(f16_bits_to_f32(f32_to_f16_bits(x)), x, "{x}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_within_half_precision() {
+        let mut x = 1e-3f32;
+        while x < 1e4 {
+            let rt = f16_bits_to_f32(f32_to_f16_bits(x));
+            let rel = ((rt - x) / x).abs();
+            assert!(rel < 1e-3, "x={x} rt={rt} rel={rel}");
+            x *= 1.7;
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e6)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e6)), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn underflow_flushes_to_zero() {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e-10)), 0.0);
+    }
+
+    #[test]
+    fn subnormals_round_trip_approximately() {
+        let x = 3.0e-6f32;
+        let rt = f16_bits_to_f32(f32_to_f16_bits(x));
+        assert!((rt - x).abs() / x < 0.05, "{rt}");
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+}

@@ -1,0 +1,878 @@
+//! Inverted-file (IVF) index with quantized storage.
+//!
+//! The index Hermes deploys (paper Section 2.1): a K-means coarse
+//! quantizer splits the datastore into `nlist` inverted lists; at query
+//! time only the `nProbe` lists whose centroids are nearest the query are
+//! scanned, trading accuracy for latency. Vectors inside lists are stored
+//! through a [`Codec`] (the paper uses SQ8).
+
+use bytes::BytesMut;
+use hermes_kmeans::{KMeans, KMeansConfig};
+use hermes_math::{Mat, Metric, Neighbor, TopK};
+use hermes_quant::{Codec, CodecSpec};
+
+use crate::{IndexError, SearchParams, VectorIndex};
+
+#[derive(Debug, Clone, Default)]
+struct InvertedList {
+    ids: Vec<u64>,
+    codes: Vec<u8>,
+}
+
+/// Summary statistics about a built IVF index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IvfStats {
+    /// Number of inverted lists.
+    pub nlist: usize,
+    /// Stored vectors.
+    pub len: usize,
+    /// Largest inverted list length.
+    pub max_list: usize,
+    /// Smallest inverted list length.
+    pub min_list: usize,
+    /// Bytes per stored code.
+    pub code_size: usize,
+}
+
+/// Builder for [`IvfIndex`] (paper defaults: `nlist = 4·√n`, SQ8 codec).
+///
+/// # Examples
+///
+/// ```
+/// use hermes_math::{Mat, Metric};
+/// use hermes_index::IvfIndex;
+/// use hermes_quant::CodecSpec;
+///
+/// let data = Mat::from_rows(&(0..100).map(|i| vec![i as f32, 0.0]).collect::<Vec<_>>());
+/// let index = IvfIndex::builder().codec(CodecSpec::Flat).build(&data)?;
+/// assert_eq!(index.stats().len, 100);
+/// # Ok::<(), hermes_index::IndexError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IvfBuilder {
+    nlist: Option<usize>,
+    codec: CodecSpec,
+    metric: Metric,
+    seed: u64,
+    train_fraction: f64,
+    kmeans_iters: usize,
+    residual: bool,
+}
+
+impl IvfBuilder {
+    fn new() -> Self {
+        IvfBuilder {
+            nlist: None,
+            codec: CodecSpec::Sq8,
+            metric: Metric::InnerProduct,
+            seed: 0,
+            train_fraction: 1.0,
+            kmeans_iters: 15,
+            residual: false,
+        }
+    }
+
+    /// Encodes each vector's *residual* from its list centroid instead of
+    /// the raw vector (FAISS's default for IVF+quantizer). Residuals have
+    /// a tighter dynamic range, so scalar/product quantizers spend their
+    /// levels where the data actually lives, improving recall at the same
+    /// code size. Costs one extra centroid add per scored candidate at
+    /// query time.
+    pub fn residual(mut self, residual: bool) -> Self {
+        self.residual = residual;
+        self
+    }
+
+    /// Fixes the number of inverted lists (default `4·√n`).
+    pub fn nlist(mut self, nlist: usize) -> Self {
+        self.nlist = Some(nlist);
+        self
+    }
+
+    /// Storage codec (default SQ8, the paper's pick).
+    pub fn codec(mut self, codec: CodecSpec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Ranking metric (default inner product).
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// RNG seed for the coarse quantizer and codec training.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Trains the coarse quantizer and codec on a row subsample, the
+    /// standard trick for large ingests.
+    pub fn train_fraction(mut self, fraction: f64) -> Self {
+        self.train_fraction = fraction;
+        self
+    }
+
+    /// Lloyd iteration cap for the coarse quantizer.
+    pub fn kmeans_iters(mut self, iters: usize) -> Self {
+        self.kmeans_iters = iters;
+        self
+    }
+
+    /// Builds the index over `data` with implicit ids `0..n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::Empty`] for an empty dataset.
+    pub fn build(&self, data: &Mat) -> Result<IvfIndex, IndexError> {
+        let ids: Vec<u64> = (0..data.rows() as u64).collect();
+        self.build_with_ids(data, ids)
+    }
+
+    /// Builds the index with caller-provided ids (one per row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::Empty`] for an empty dataset and
+    /// [`IndexError::InvalidParam`] if `ids.len() != data.rows()`.
+    pub fn build_with_ids(&self, data: &Mat, ids: Vec<u64>) -> Result<IvfIndex, IndexError> {
+        if data.rows() == 0 {
+            return Err(IndexError::Empty);
+        }
+        if ids.len() != data.rows() {
+            return Err(IndexError::InvalidParam(format!(
+                "ids length {} != rows {}",
+                ids.len(),
+                data.rows()
+            )));
+        }
+        let nlist = self
+            .nlist
+            .unwrap_or_else(|| ((4.0 * (data.rows() as f64).sqrt()).round() as usize).max(1))
+            .clamp(1, data.rows());
+
+        let training;
+        let train_data = if self.train_fraction < 1.0 {
+            training = hermes_kmeans::subsample(data, self.train_fraction, self.seed);
+            &training
+        } else {
+            data
+        };
+
+        let cfg = KMeansConfig::new(nlist)
+            .with_seed(self.seed)
+            .with_max_iters(self.kmeans_iters);
+        let coarse = KMeans::train(train_data, &cfg);
+        let codec = if self.residual {
+            // Train the codec on residuals so its range matches what it
+            // will actually encode.
+            let residuals: Vec<Vec<f32>> = train_data
+                .iter_rows()
+                .map(|row| {
+                    let (list, _) = coarse.assign(row);
+                    hermes_math::distance::sub(row, coarse.centroids().row(list))
+                })
+                .collect();
+            Codec::train(self.codec, &Mat::from_rows(&residuals), self.seed)
+        } else {
+            Codec::train(self.codec, train_data, self.seed)
+        };
+
+        let mut lists = vec![InvertedList::default(); coarse.num_clusters()];
+        let mut buf = BytesMut::new();
+        for (row, &id) in data.iter_rows().zip(&ids) {
+            let (list, _) = coarse.assign(row);
+            buf.clear();
+            if self.residual {
+                let res = hermes_math::distance::sub(row, coarse.centroids().row(list));
+                codec.encode_into(&res, &mut buf);
+            } else {
+                codec.encode_into(row, &mut buf);
+            }
+            lists[list].ids.push(id);
+            lists[list].codes.extend_from_slice(&buf);
+        }
+
+        Ok(IvfIndex {
+            coarse,
+            codec,
+            lists,
+            metric: self.metric,
+            dim: data.cols(),
+            len: data.rows(),
+            residual: self.residual,
+        })
+    }
+}
+
+/// Inverted-file ANN index (see module docs).
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    coarse: KMeans,
+    codec: Codec,
+    lists: Vec<InvertedList>,
+    metric: Metric,
+    dim: usize,
+    len: usize,
+    residual: bool,
+}
+
+impl IvfIndex {
+    /// Starts configuring a new index.
+    pub fn builder() -> IvfBuilder {
+        IvfBuilder::new()
+    }
+
+    /// Build-time and occupancy statistics.
+    pub fn stats(&self) -> IvfStats {
+        let (mut max_list, mut min_list) = (0usize, usize::MAX);
+        for l in &self.lists {
+            max_list = max_list.max(l.ids.len());
+            min_list = min_list.min(l.ids.len());
+        }
+        IvfStats {
+            nlist: self.lists.len(),
+            len: self.len,
+            max_list,
+            min_list: if self.lists.is_empty() { 0 } else { min_list },
+            code_size: self.codec.code_size(),
+        }
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Adds one vector with an explicit id (streaming ingest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::DimensionMismatch`] on a wrong-sized vector.
+    pub fn add(&mut self, id: u64, v: &[f32]) -> Result<(), IndexError> {
+        if v.len() != self.dim {
+            return Err(IndexError::DimensionMismatch {
+                expected: self.dim,
+                got: v.len(),
+            });
+        }
+        let (list, _) = self.coarse.assign(v);
+        let mut buf = BytesMut::with_capacity(self.codec.code_size());
+        if self.residual {
+            let res = hermes_math::distance::sub(v, self.coarse.centroids().row(list));
+            self.codec.encode_into(&res, &mut buf);
+        } else {
+            self.codec.encode_into(v, &mut buf);
+        }
+        self.lists[list].ids.push(id);
+        self.lists[list].codes.extend_from_slice(&buf);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Whether vectors are stored as residuals from their list centroid.
+    pub fn is_residual(&self) -> bool {
+        self.residual
+    }
+
+    /// Serializes the index (coarse centroids, codec, inverted lists) to
+    /// the workspace wire format — the offline-build → online-serving
+    /// handoff of the paper's Appendix A.5.
+    pub fn to_bytes(&self) -> bytes::Bytes {
+        use hermes_math::wire::{WireEncode, Writer};
+        let mut w = Writer::new();
+        w.header("HIVF", 1);
+        w.u8(match self.metric {
+            Metric::L2 => 0,
+            Metric::InnerProduct => 1,
+            Metric::Cosine => 2,
+        });
+        w.u8(u8::from(self.residual));
+        w.u64(self.dim as u64);
+        w.u64(self.len as u64);
+        self.coarse.encode_wire(&mut w);
+        self.codec.encode_wire(&mut w);
+        w.u64(self.lists.len() as u64);
+        for list in &self.lists {
+            w.u64s(&list.ids);
+            w.bytes(&list.codes);
+        }
+        w.finish()
+    }
+
+    /// Reconstructs an index serialized with [`Self::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`hermes_math::wire::WireError`] for truncated, corrupt
+    /// or mismatched payloads.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, hermes_math::wire::WireError> {
+        use hermes_math::wire::{Reader, WireDecode, WireError};
+        let mut r = Reader::new(buf);
+        r.header("HIVF", 1)?;
+        let metric = match r.u8()? {
+            0 => Metric::L2,
+            1 => Metric::InnerProduct,
+            2 => Metric::Cosine,
+            t => return Err(WireError::Corrupt(format!("bad metric tag {t}"))),
+        };
+        let residual = match r.u8()? {
+            0 => false,
+            1 => true,
+            t => return Err(WireError::Corrupt(format!("bad residual tag {t}"))),
+        };
+        let dim = r.u64()? as usize;
+        let len = r.u64()? as usize;
+        let coarse = KMeans::decode_wire(&mut r)?;
+        let codec = Codec::decode_wire(&mut r)?;
+        if codec.dim() != dim {
+            return Err(WireError::Corrupt("codec dimension mismatch".into()));
+        }
+        let nlists = r.u64()? as usize;
+        if nlists != coarse.num_clusters() {
+            return Err(WireError::Corrupt("list/centroid count mismatch".into()));
+        }
+        let code_size = codec.code_size();
+        let mut lists = Vec::with_capacity(nlists);
+        let mut total = 0usize;
+        for _ in 0..nlists {
+            let ids = r.u64s()?;
+            let codes = r.bytes()?;
+            if codes.len() != ids.len() * code_size {
+                return Err(WireError::Corrupt("code payload size mismatch".into()));
+            }
+            total += ids.len();
+            lists.push(InvertedList { ids, codes });
+        }
+        if total != len {
+            return Err(WireError::Corrupt(format!(
+                "stored length {len} but lists hold {total}"
+            )));
+        }
+        Ok(IvfIndex {
+            coarse,
+            codec,
+            lists,
+            metric,
+            dim,
+            len,
+            residual,
+        })
+    }
+
+    /// Writes the serialized index to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Loads an index saved with [`Self::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; decode failures surface as
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let buf = std::fs::read(path)?;
+        IvfIndex::from_bytes(&buf)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Number of code comparisons a search with `nprobe` would perform —
+    /// the work measure behind the latency/energy scaling laws.
+    pub fn probe_cost(&self, query: &[f32], nprobe: usize) -> usize {
+        self.coarse
+            .nearest_centroids(query, nprobe.clamp(1, self.lists.len()))
+            .iter()
+            .map(|&l| self.lists[l].ids.len())
+            .sum()
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn memory_bytes(&self) -> usize {
+        let codes: usize = self.lists.iter().map(|l| l.codes.len()).sum();
+        let ids: usize = self.lists.iter().map(|l| l.ids.len() * 8).sum();
+        let centroids = self.coarse.num_clusters() * self.dim * 4;
+        codes + ids + centroids
+    }
+
+    fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<Vec<Neighbor>, IndexError> {
+        if query.len() != self.dim {
+            return Err(IndexError::DimensionMismatch {
+                expected: self.dim,
+                got: query.len(),
+            });
+        }
+        if self.len == 0 {
+            return Err(IndexError::Empty);
+        }
+        let nprobe = params.nprobe.clamp(1, self.lists.len());
+        let probe = self.coarse.nearest_centroids(query, nprobe);
+        let code_size = self.codec.code_size();
+        let mut top = TopK::new(k.max(1));
+
+        if !self.residual {
+            // One scorer serves every probed list.
+            let scorer = self.codec.query_scorer(query, self.metric);
+            for list in probe {
+                let l = &self.lists[list];
+                for (i, code) in l.codes.chunks_exact(code_size).enumerate() {
+                    top.push(l.ids[i], scorer.score(code));
+                }
+            }
+        } else {
+            // Residual storage: scores decompose per list. Cosine reduces
+            // to inner product on a pre-normalized query (documents are
+            // stored unnormalized-residual but decode to the original,
+            // normalized vectors).
+            let normalized_query;
+            let (q, metric) = match self.metric {
+                Metric::Cosine => {
+                    let mut nq = query.to_vec();
+                    hermes_math::distance::normalize(&mut nq);
+                    normalized_query = nq;
+                    (normalized_query.as_slice(), Metric::InnerProduct)
+                }
+                m => (query, m),
+            };
+            for list in probe {
+                let centroid = self.coarse.centroids().row(list);
+                let l = &self.lists[list];
+                match metric {
+                    Metric::InnerProduct => {
+                        // ip(q, c + r) = ip(q, c) + ip(q, r).
+                        let offset = hermes_math::distance::inner_product(q, centroid);
+                        let scorer = self.codec.query_scorer(q, Metric::InnerProduct);
+                        for (i, code) in l.codes.chunks_exact(code_size).enumerate() {
+                            top.push(l.ids[i], offset + scorer.score(code));
+                        }
+                    }
+                    Metric::L2 | Metric::Cosine => {
+                        // -|q - (c + r)|^2 = -|(q - c) - r|^2.
+                        let shifted = hermes_math::distance::sub(q, centroid);
+                        let scorer = self.codec.query_scorer(&shifted, Metric::L2);
+                        for (i, code) in l.codes.chunks_exact(code_size).enumerate() {
+                            top.push(l.ids[i], scorer.score(code));
+                        }
+                    }
+                }
+            }
+        }
+        let mut out = top.into_sorted_vec();
+        out.truncate(k);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlatIndex;
+    use hermes_math::rng::seeded_rng;
+    use rand::Rng;
+
+    fn clustered_data(n: usize, dim: usize, centers: usize, seed: u64) -> Mat {
+        let mut rng = seeded_rng(seed);
+        let centroids: Vec<Vec<f32>> = (0..centers)
+            .map(|_| (0..dim).map(|_| rng.gen::<f32>() * 10.0).collect())
+            .collect();
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let c = &centroids[i % centers];
+                c.iter().map(|&x| x + rng.gen::<f32>() * 0.5).collect()
+            })
+            .collect();
+        Mat::from_rows(&rows)
+    }
+
+    #[test]
+    fn full_probe_flat_codec_matches_exact_search() {
+        let data = clustered_data(300, 8, 5, 1);
+        let ivf = IvfIndex::builder()
+            .nlist(5)
+            .codec(CodecSpec::Flat)
+            .metric(Metric::L2)
+            .seed(3)
+            .build(&data)
+            .unwrap();
+        let flat = FlatIndex::new(data.clone(), Metric::L2);
+        let params = SearchParams::new().with_nprobe(5);
+        for qi in (0..300).step_by(37) {
+            let q = data.row(qi);
+            let got = ivf.search(q, 5, &params).unwrap();
+            let want = flat.search(q, 5, &SearchParams::new()).unwrap();
+            assert_eq!(
+                got.iter().map(|n| n.id).collect::<Vec<_>>(),
+                want.iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn recall_improves_with_nprobe() {
+        let data = clustered_data(1000, 16, 20, 2);
+        let ivf = IvfIndex::builder()
+            .nlist(20)
+            .codec(CodecSpec::Sq8)
+            .metric(Metric::L2)
+            .seed(5)
+            .build(&data)
+            .unwrap();
+        let flat = FlatIndex::new(data.clone(), Metric::L2);
+        let recall_at = |nprobe: usize| -> f64 {
+            let params = SearchParams::new().with_nprobe(nprobe);
+            let mut hit = 0usize;
+            let mut total = 0usize;
+            for qi in (0..1000).step_by(97) {
+                let q = data.row(qi);
+                let truth: Vec<u64> = flat
+                    .search(q, 10, &SearchParams::new())
+                    .unwrap()
+                    .iter()
+                    .map(|n| n.id)
+                    .collect();
+                let got = ivf.search(q, 10, &params).unwrap();
+                hit += got.iter().filter(|n| truth.contains(&n.id)).count();
+                total += truth.len();
+            }
+            hit as f64 / total as f64
+        };
+        let r1 = recall_at(1);
+        let r20 = recall_at(20);
+        assert!(r20 >= r1, "recall must not drop with nprobe ({r1} vs {r20})");
+        assert!(r20 > 0.9, "full probe recall too low: {r20}");
+    }
+
+    #[test]
+    fn default_nlist_follows_four_sqrt_n() {
+        let data = clustered_data(400, 4, 4, 3);
+        let ivf = IvfIndex::builder().build(&data).unwrap();
+        assert_eq!(ivf.nlist(), 80); // 4 * sqrt(400)
+    }
+
+    #[test]
+    fn add_streams_new_vectors() {
+        let data = clustered_data(100, 4, 2, 4);
+        let mut ivf = IvfIndex::builder()
+            .nlist(4)
+            .codec(CodecSpec::Flat)
+            .metric(Metric::L2)
+            .build(&data)
+            .unwrap();
+        ivf.add(999, &[100.0, 100.0, 100.0, 100.0]).unwrap();
+        assert_eq!(ivf.len(), 101);
+        let hits = ivf
+            .search(
+                &[100.0, 100.0, 100.0, 100.0],
+                1,
+                &SearchParams::new().with_nprobe(4),
+            )
+            .unwrap();
+        assert_eq!(hits[0].id, 999);
+    }
+
+    #[test]
+    fn probe_cost_counts_scanned_codes() {
+        let data = clustered_data(200, 4, 4, 5);
+        let ivf = IvfIndex::builder()
+            .nlist(4)
+            .codec(CodecSpec::Sq8)
+            .build(&data)
+            .unwrap();
+        let q = data.row(0);
+        let full = ivf.probe_cost(q, 4);
+        assert_eq!(full, 200);
+        assert!(ivf.probe_cost(q, 1) < full);
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let data = clustered_data(128, 8, 4, 6);
+        let ivf = IvfIndex::builder()
+            .nlist(4)
+            .codec(CodecSpec::Sq8)
+            .build(&data)
+            .unwrap();
+        let s = ivf.stats();
+        assert_eq!(s.nlist, 4);
+        assert_eq!(s.len, 128);
+        assert_eq!(s.code_size, 8);
+        assert!(s.max_list >= s.min_list);
+    }
+
+    #[test]
+    fn memory_is_dominated_by_codes_for_sq8() {
+        let data = clustered_data(512, 32, 4, 7);
+        let sq8 = IvfIndex::builder()
+            .nlist(8)
+            .codec(CodecSpec::Sq8)
+            .build(&data)
+            .unwrap();
+        let flat = IvfIndex::builder()
+            .nlist(8)
+            .codec(CodecSpec::Flat)
+            .build(&data)
+            .unwrap();
+        assert!(flat.memory_bytes() > sq8.memory_bytes() * 2);
+    }
+
+    #[test]
+    fn mismatched_ids_rejected() {
+        let data = clustered_data(10, 4, 2, 8);
+        let err = IvfIndex::builder()
+            .build_with_ids(&data, vec![1, 2, 3])
+            .unwrap_err();
+        assert!(matches!(err, IndexError::InvalidParam(_)));
+    }
+
+    #[test]
+    fn empty_build_rejected() {
+        let err = IvfIndex::builder().build(&Mat::zeros(0, 4)).unwrap_err();
+        assert_eq!(err, IndexError::Empty);
+    }
+
+    #[test]
+    fn residual_flat_matches_plain_flat_exactly() {
+        // With a lossless codec, residual storage must not change results.
+        let data = clustered_data(300, 8, 5, 31);
+        let plain = IvfIndex::builder()
+            .nlist(5)
+            .codec(CodecSpec::Flat)
+            .metric(Metric::L2)
+            .seed(1)
+            .build(&data)
+            .unwrap();
+        let res = IvfIndex::builder()
+            .nlist(5)
+            .codec(CodecSpec::Flat)
+            .metric(Metric::L2)
+            .seed(1)
+            .residual(true)
+            .build(&data)
+            .unwrap();
+        let params = SearchParams::new().with_nprobe(5);
+        for qi in (0..300).step_by(41) {
+            let q = data.row(qi);
+            let a: Vec<u64> = plain.search(q, 5, &params).unwrap().iter().map(|n| n.id).collect();
+            let b: Vec<u64> = res.search(q, 5, &params).unwrap().iter().map(|n| n.id).collect();
+            assert_eq!(a, b, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn residual_encoding_improves_quantized_recall() {
+        // Clustered data with large centroid offsets: raw SQ4 wastes its
+        // 16 levels spanning the whole space, residual SQ4 spends them on
+        // the within-cluster spread.
+        let data = clustered_data(800, 16, 8, 32);
+        let flat = crate::FlatIndex::new(data.clone(), Metric::L2);
+        let recall_of = |index: &IvfIndex| -> f64 {
+            let params = SearchParams::new().with_nprobe(8);
+            let mut hit = 0usize;
+            let mut total = 0usize;
+            for qi in (0..800).step_by(67) {
+                let q = data.row(qi);
+                let truth: Vec<u64> = flat
+                    .search(q, 10, &SearchParams::new())
+                    .unwrap()
+                    .iter()
+                    .map(|n| n.id)
+                    .collect();
+                let got = index.search(q, 10, &params).unwrap();
+                hit += got.iter().filter(|n| truth.contains(&n.id)).count();
+                total += truth.len();
+            }
+            hit as f64 / total as f64
+        };
+        let plain = IvfIndex::builder()
+            .nlist(8)
+            .codec(CodecSpec::Sq4)
+            .metric(Metric::L2)
+            .seed(2)
+            .build(&data)
+            .unwrap();
+        let residual = IvfIndex::builder()
+            .nlist(8)
+            .codec(CodecSpec::Sq4)
+            .metric(Metric::L2)
+            .seed(2)
+            .residual(true)
+            .build(&data)
+            .unwrap();
+        let (rp, rr) = (recall_of(&plain), recall_of(&residual));
+        assert!(rr >= rp, "residual {rr} should not lose to plain {rp}");
+    }
+
+    #[test]
+    fn residual_inner_product_decomposition_is_consistent() {
+        let data = clustered_data(200, 8, 4, 33);
+        let plain = IvfIndex::builder()
+            .nlist(4)
+            .codec(CodecSpec::Flat)
+            .metric(Metric::InnerProduct)
+            .seed(3)
+            .build(&data)
+            .unwrap();
+        let res = IvfIndex::builder()
+            .nlist(4)
+            .codec(CodecSpec::Flat)
+            .metric(Metric::InnerProduct)
+            .seed(3)
+            .residual(true)
+            .build(&data)
+            .unwrap();
+        let params = SearchParams::new().with_nprobe(4);
+        for qi in (0..200).step_by(29) {
+            let q = data.row(qi);
+            let a = plain.search(q, 3, &params).unwrap();
+            let b = res.search(q, 3, &params).unwrap();
+            assert_eq!(
+                a.iter().map(|n| n.id).collect::<Vec<_>>(),
+                b.iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x.score - y.score).abs() < 1e-3, "{} vs {}", x.score, y.score);
+            }
+        }
+    }
+
+    #[test]
+    fn residual_index_round_trips_through_persistence() {
+        let data = clustered_data(150, 8, 3, 34);
+        let index = IvfIndex::builder()
+            .nlist(3)
+            .codec(CodecSpec::Sq8)
+            .residual(true)
+            .seed(4)
+            .build(&data)
+            .unwrap();
+        let loaded = IvfIndex::from_bytes(&index.to_bytes()).unwrap();
+        assert!(loaded.is_residual());
+        let params = SearchParams::new().with_nprobe(3);
+        assert_eq!(
+            loaded.search(data.row(7), 5, &params).unwrap(),
+            index.search(data.row(7), 5, &params).unwrap()
+        );
+    }
+
+    #[test]
+    fn residual_add_streams_consistently() {
+        let data = clustered_data(100, 4, 2, 35);
+        let mut index = IvfIndex::builder()
+            .nlist(2)
+            .codec(CodecSpec::Sq8)
+            .metric(Metric::L2)
+            .residual(true)
+            .build(&data)
+            .unwrap();
+        let novel = [7.5f32, 7.5, 7.5, 7.5];
+        index.add(4242, &novel).unwrap();
+        let hits = index
+            .search(&novel, 1, &SearchParams::new().with_nprobe(2))
+            .unwrap();
+        assert_eq!(hits[0].id, 4242);
+    }
+
+    #[test]
+    fn persisted_index_searches_identically() {
+        let data = clustered_data(400, 8, 5, 21);
+        let ivf = IvfIndex::builder()
+            .nlist(8)
+            .codec(CodecSpec::Sq8)
+            .metric(Metric::InnerProduct)
+            .seed(2)
+            .build(&data)
+            .unwrap();
+        let loaded = IvfIndex::from_bytes(&ivf.to_bytes()).unwrap();
+        assert_eq!(loaded.len(), ivf.len());
+        assert_eq!(loaded.nlist(), ivf.nlist());
+        let params = SearchParams::new().with_nprobe(8);
+        for qi in (0..400).step_by(53) {
+            let q = data.row(qi);
+            assert_eq!(
+                loaded.search(q, 5, &params).unwrap(),
+                ivf.search(q, 5, &params).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn save_and_load_round_trip_via_filesystem() {
+        let data = clustered_data(100, 4, 2, 22);
+        let ivf = IvfIndex::builder().nlist(4).seed(3).build(&data).unwrap();
+        let path = std::env::temp_dir().join("hermes_ivf_roundtrip.hivf");
+        ivf.save(&path).unwrap();
+        let loaded = IvfIndex::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), 100);
+        assert_eq!(
+            loaded.search(data.row(0), 3, &SearchParams::new()).unwrap(),
+            ivf.search(data.row(0), 3, &SearchParams::new()).unwrap()
+        );
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let data = clustered_data(50, 4, 2, 23);
+        let ivf = IvfIndex::builder().nlist(2).build(&data).unwrap();
+        let buf = ivf.to_bytes();
+        assert!(IvfIndex::from_bytes(&buf[..buf.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn foreign_payload_is_rejected() {
+        assert!(IvfIndex::from_bytes(b"definitely not an index").is_err());
+    }
+
+    #[test]
+    fn loaded_index_accepts_streaming_adds() {
+        let data = clustered_data(80, 4, 2, 24);
+        let ivf = IvfIndex::builder()
+            .nlist(2)
+            .codec(CodecSpec::Flat)
+            .metric(Metric::L2)
+            .build(&data)
+            .unwrap();
+        let mut loaded = IvfIndex::from_bytes(&ivf.to_bytes()).unwrap();
+        loaded.add(5000, &[42.0, 42.0, 42.0, 42.0]).unwrap();
+        let hits = loaded
+            .search(&[42.0, 42.0, 42.0, 42.0], 1, &SearchParams::new().with_nprobe(2))
+            .unwrap();
+        assert_eq!(hits[0].id, 5000);
+    }
+
+    #[test]
+    fn inner_product_metric_ranks_by_dot() {
+        let data = Mat::from_rows(&[vec![1.0, 0.0], vec![10.0, 0.0], vec![0.0, 1.0]]);
+        let ivf = IvfIndex::builder()
+            .nlist(1)
+            .codec(CodecSpec::Flat)
+            .metric(Metric::InnerProduct)
+            .build(&data)
+            .unwrap();
+        let hits = ivf.search(&[1.0, 0.0], 1, &SearchParams::new()).unwrap();
+        assert_eq!(hits[0].id, 1);
+    }
+}

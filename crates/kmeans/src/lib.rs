@@ -1,0 +1,695 @@
+//! Lloyd's K-means, the clustering workhorse of the Hermes reproduction.
+//!
+//! K-means is used in two places, mirroring the paper:
+//!
+//! 1. **Inside each IVF index** as the coarse quantizer that defines the
+//!    `nlist` inverted lists (Section 2.1).
+//! 2. **For datastore disaggregation** (Section 4.1): the whole corpus is
+//!    K-means-clustered into `C` topical partitions, one per node. Because
+//!    the initial centroid draw makes cluster sizes uneven, Hermes sweeps
+//!    several seeds *on a small subsample* and keeps the seed with the
+//!    lowest size imbalance (max/min ratio). [`SeedSweep`] implements that
+//!    procedure; [`subsample`] implements the 1–2% subsampling trick.
+//!
+//! # Examples
+//!
+//! ```
+//! use hermes_math::Mat;
+//! use hermes_kmeans::{KMeans, KMeansConfig};
+//!
+//! // Two obvious blobs on the x axis.
+//! let rows: Vec<Vec<f32>> = (0..20)
+//!     .map(|i| if i < 10 { vec![0.0, i as f32 * 0.01] } else { vec![10.0, i as f32 * 0.01] })
+//!     .collect();
+//! let data = Mat::from_rows(&rows);
+//! let model = KMeans::train(&data, &KMeansConfig::new(2).with_seed(1));
+//! assert_eq!(model.num_clusters(), 2);
+//! let (a, _) = model.assign(data.row(0));
+//! let (b, _) = model.assign(data.row(19));
+//! assert_ne!(a, b);
+//! ```
+
+use hermes_math::distance::l2_sq;
+use hermes_math::rng::{derive_seed, seeded_rng};
+use hermes_math::stats::imbalance_ratio;
+use hermes_math::Mat;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Centroid initialization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Init {
+    /// Pick `k` distinct input rows uniformly at random — FAISS's default
+    /// and what the paper's imbalance discussion assumes.
+    #[default]
+    Random,
+    /// k-means++ D² sampling; slower to seed but typically lower inertia.
+    KMeansPlusPlus,
+}
+
+/// Training configuration for [`KMeans::train`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Upper bound on Lloyd iterations.
+    pub max_iters: usize,
+    /// Relative inertia improvement below which training stops early.
+    pub tolerance: f64,
+    /// Centroid initialization strategy.
+    pub init: Init,
+    /// RNG seed; the sweep in [`SeedSweep`] varies exactly this field.
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// Configuration with workspace defaults (25 iterations, 1e-4 tolerance,
+    /// random init, seed 0).
+    pub fn new(k: usize) -> Self {
+        KMeansConfig {
+            k,
+            max_iters: 25,
+            tolerance: 1e-4,
+            init: Init::Random,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the initialization strategy.
+    pub fn with_init(mut self, init: Init) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Sets the iteration cap.
+    pub fn with_max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters;
+        self
+    }
+}
+
+/// A trained K-means model: centroid table plus training diagnostics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Mat,
+    assignments: Vec<u32>,
+    cluster_sizes: Vec<usize>,
+    inertia: f64,
+    iterations: usize,
+}
+
+impl KMeans {
+    /// Runs Lloyd's algorithm on `data` (one vector per row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `cfg.k == 0`. If `k > data.rows()` the
+    /// effective `k` is clamped to the number of rows.
+    pub fn train(data: &Mat, cfg: &KMeansConfig) -> Self {
+        assert!(data.rows() > 0, "cannot cluster an empty dataset");
+        assert!(cfg.k > 0, "k must be positive");
+        let k = cfg.k.min(data.rows());
+        let mut rng = seeded_rng(cfg.seed);
+        let centroids = match cfg.init {
+            Init::Random => init_random(data, k, &mut rng),
+            Init::KMeansPlusPlus => init_plus_plus(data, k, &mut rng),
+        };
+        Self::train_from_centroids(data, centroids, cfg)
+    }
+
+    /// Runs Lloyd's algorithm starting from caller-provided centroids —
+    /// the warm-start path Hermes uses to carry a subsample-swept
+    /// clustering over to the full datastore (Section 4.1): the winning
+    /// subsample centroids seed the full-data refinement, so the
+    /// subsample's low imbalance transfers instead of being re-rolled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, `init` has no rows, or the
+    /// dimensionalities differ.
+    pub fn train_from_centroids(data: &Mat, init: Mat, cfg: &KMeansConfig) -> Self {
+        assert!(data.rows() > 0, "cannot cluster an empty dataset");
+        assert!(init.rows() > 0, "need at least one initial centroid");
+        assert_eq!(init.cols(), data.cols(), "centroid dimension mismatch");
+        let k = init.rows();
+        let dim = data.cols();
+        let mut centroids = init;
+
+        let mut assignments = vec![0u32; data.rows()];
+        let mut inertia = f64::INFINITY;
+        let mut iterations = 0;
+        for iter in 0..cfg.max_iters.max(1) {
+            iterations = iter + 1;
+            // Assignment step.
+            let mut new_inertia = 0.0f64;
+            for (i, row) in data.iter_rows().enumerate() {
+                let (c, d) = nearest_centroid(&centroids, row);
+                assignments[i] = c as u32;
+                new_inertia += d as f64;
+            }
+            // Update step.
+            let mut sums = Mat::zeros(k, dim);
+            let mut counts = vec![0usize; k];
+            for (i, row) in data.iter_rows().enumerate() {
+                let c = assignments[i] as usize;
+                hermes_math::distance::add_assign(sums.row_mut(c), row);
+                counts[c] += 1;
+            }
+            for (c, count) in counts.iter_mut().enumerate() {
+                if *count == 0 {
+                    // Empty-cluster repair: reseed from the point farthest
+                    // from its centroid, FAISS-style.
+                    let far = farthest_point(data, &centroids, &assignments);
+                    sums.row_mut(c).copy_from_slice(data.row(far));
+                    *count = 1;
+                }
+                hermes_math::distance::scale(sums.row_mut(c), 1.0 / *count as f32);
+            }
+            centroids = sums;
+
+            let improved = (inertia - new_inertia) / new_inertia.max(f64::MIN_POSITIVE);
+            inertia = new_inertia;
+            if improved.abs() < cfg.tolerance && iter > 0 {
+                break;
+            }
+        }
+
+        // Final assignment against the last centroid update.
+        let mut cluster_sizes = vec![0usize; k];
+        let mut final_inertia = 0.0f64;
+        for (i, row) in data.iter_rows().enumerate() {
+            let (c, d) = nearest_centroid(&centroids, row);
+            assignments[i] = c as u32;
+            cluster_sizes[c] += 1;
+            final_inertia += d as f64;
+        }
+
+        KMeans {
+            centroids,
+            assignments,
+            cluster_sizes,
+            inertia: final_inertia,
+            iterations,
+        }
+    }
+
+    /// The centroid table (`k x dim`).
+    pub fn centroids(&self) -> &Mat {
+        &self.centroids
+    }
+
+    /// Cluster index assigned to each training row.
+    pub fn assignments(&self) -> &[u32] {
+        &self.assignments
+    }
+
+    /// Number of training rows in each cluster.
+    pub fn cluster_sizes(&self) -> &[usize] {
+        &self.cluster_sizes
+    }
+
+    /// Final sum of squared distances to assigned centroids.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Lloyd iterations actually executed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// Assigns an unseen vector, returning `(cluster, squared_distance)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` differs from the training dimensionality.
+    pub fn assign(&self, v: &[f32]) -> (usize, f32) {
+        assert_eq!(v.len(), self.centroids.cols(), "dimension mismatch");
+        nearest_centroid(&self.centroids, v)
+    }
+
+    /// Returns the indices of the `n` centroids closest to `v`, best first —
+    /// the primitive behind IVF's `nProbe` list selection.
+    pub fn nearest_centroids(&self, v: &[f32], n: usize) -> Vec<usize> {
+        let mut scored: Vec<(usize, f32)> = self
+            .centroids
+            .iter_rows()
+            .enumerate()
+            .map(|(c, row)| (c, l2_sq(row, v)))
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(n.max(1));
+        scored.into_iter().map(|(c, _)| c).collect()
+    }
+
+    /// Max/min cluster-size ratio — the paper's imbalance proxy.
+    pub fn imbalance(&self) -> Option<f64> {
+        imbalance_ratio(&self.cluster_sizes)
+    }
+
+    /// Reconstructs a serving-only model from a centroid table (no
+    /// training diagnostics; `assignments` is empty). Used when loading a
+    /// persisted index: the online path only ever calls [`Self::assign`]
+    /// and [`Self::nearest_centroids`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `centroids` has no rows.
+    pub fn from_centroids(centroids: Mat, cluster_sizes: Vec<usize>) -> Self {
+        assert!(centroids.rows() > 0, "need at least one centroid");
+        KMeans {
+            centroids,
+            assignments: Vec::new(),
+            cluster_sizes,
+            inertia: 0.0,
+            iterations: 0,
+        }
+    }
+}
+
+impl hermes_math::wire::WireEncode for KMeans {
+    fn encode_wire(&self, w: &mut hermes_math::wire::Writer) {
+        w.mat(&self.centroids);
+        w.u64s(&self.cluster_sizes.iter().map(|&s| s as u64).collect::<Vec<_>>());
+    }
+}
+
+impl hermes_math::wire::WireDecode for KMeans {
+    fn decode_wire(
+        r: &mut hermes_math::wire::Reader<'_>,
+    ) -> Result<Self, hermes_math::wire::WireError> {
+        let centroids = r.mat()?;
+        let sizes = r.u64s()?.into_iter().map(|s| s as usize).collect();
+        if centroids.rows() == 0 {
+            return Err(hermes_math::wire::WireError::Corrupt(
+                "empty centroid table".into(),
+            ));
+        }
+        Ok(KMeans::from_centroids(centroids, sizes))
+    }
+}
+
+fn init_random(data: &Mat, k: usize, rng: &mut impl Rng) -> Mat {
+    let mut idx: Vec<usize> = (0..data.rows()).collect();
+    idx.shuffle(rng);
+    let rows: Vec<Vec<f32>> = idx[..k].iter().map(|&i| data.row(i).to_vec()).collect();
+    Mat::from_rows(&rows)
+}
+
+fn init_plus_plus(data: &Mat, k: usize, rng: &mut impl Rng) -> Mat {
+    let n = data.rows();
+    let first = rng.gen_range(0..n);
+    let mut chosen = vec![first];
+    let mut d2: Vec<f32> = data
+        .iter_rows()
+        .map(|r| l2_sq(r, data.row(first)))
+        .collect();
+    while chosen.len() < k {
+        let total: f64 = d2.iter().map(|&d| d as f64).sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with a centroid; pick uniformly.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d as f64;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        chosen.push(next);
+        for (i, r) in data.iter_rows().enumerate() {
+            let d = l2_sq(r, data.row(next));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    let rows: Vec<Vec<f32>> = chosen.iter().map(|&i| data.row(i).to_vec()).collect();
+    Mat::from_rows(&rows)
+}
+
+fn nearest_centroid(centroids: &Mat, v: &[f32]) -> (usize, f32) {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (c, row) in centroids.iter_rows().enumerate() {
+        let d = l2_sq(row, v);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+fn farthest_point(data: &Mat, centroids: &Mat, assignments: &[u32]) -> usize {
+    let mut far = 0usize;
+    let mut far_d = -1.0f32;
+    for (i, row) in data.iter_rows().enumerate() {
+        let d = l2_sq(row, centroids.row(assignments[i] as usize));
+        if d > far_d {
+            far_d = d;
+            far = i;
+        }
+    }
+    far
+}
+
+/// Draws a uniformly random row subsample of `fraction` (clamped to at
+/// least one row) — the 1–2% subsampling the paper uses to make multi-seed
+/// K-means sweeps affordable on 100M+ document datastores.
+pub fn subsample(data: &Mat, fraction: f64, seed: u64) -> Mat {
+    let n = data.rows();
+    let take = ((n as f64 * fraction.clamp(0.0, 1.0)).round() as usize).clamp(1, n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut seeded_rng(seed));
+    let rows: Vec<Vec<f32>> = idx[..take].iter().map(|&i| data.row(i).to_vec()).collect();
+    Mat::from_rows(&rows)
+}
+
+/// Per-seed outcome of an imbalance sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeedOutcome {
+    /// The K-means seed evaluated.
+    pub seed: u64,
+    /// Max/min cluster-size ratio measured on the subsample.
+    pub imbalance: f64,
+    /// Training inertia on the subsample.
+    pub inertia: f64,
+}
+
+/// Result of [`SeedSweep::run`]: the winning seed plus the full trace for
+/// the ablation bench.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Seed with the lowest imbalance.
+    pub best_seed: u64,
+    /// Imbalance of the winning seed.
+    pub best_imbalance: f64,
+    /// Centroids trained by the winning run (on the subsample). Feed them
+    /// to [`KMeans::train_from_centroids`] so the balanced clustering
+    /// transfers to the full datastore.
+    pub best_centroids: Mat,
+    /// Every seed evaluated, in evaluation order.
+    pub outcomes: Vec<SeedOutcome>,
+}
+
+/// Multi-seed K-means imbalance sweep (Section 4.1).
+///
+/// Runs K-means on a subsample once per candidate seed, scores each run by
+/// the max/min cluster-size ratio, and reports the seed with the lowest
+/// imbalance. The caller then trains the full-datastore split with that
+/// seed.
+///
+/// # Examples
+///
+/// ```
+/// # use hermes_math::Mat;
+/// # use hermes_kmeans::{KMeansConfig, SeedSweep};
+/// # let rows: Vec<Vec<f32>> = (0..64).map(|i| vec![(i % 4) as f32 * 5.0, (i / 4) as f32 * 0.01]).collect();
+/// # let data = Mat::from_rows(&rows);
+/// let sweep = SeedSweep::new(KMeansConfig::new(4), 8).with_subsample(0.5, 7);
+/// let result = sweep.run(&data);
+/// assert_eq!(result.outcomes.len(), 8);
+/// assert!(result.best_imbalance >= 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeedSweep {
+    config: KMeansConfig,
+    num_seeds: u64,
+    subsample_fraction: f64,
+    subsample_seed: u64,
+}
+
+impl SeedSweep {
+    /// Sweeps seeds `config.seed .. config.seed + num_seeds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_seeds == 0`.
+    pub fn new(config: KMeansConfig, num_seeds: u64) -> Self {
+        assert!(num_seeds > 0, "sweep needs at least one seed");
+        SeedSweep {
+            config,
+            num_seeds,
+            subsample_fraction: 1.0,
+            subsample_seed: 0,
+        }
+    }
+
+    /// Evaluates seeds on a `fraction` subsample drawn with
+    /// `subsample_seed` instead of the full dataset.
+    pub fn with_subsample(mut self, fraction: f64, subsample_seed: u64) -> Self {
+        self.subsample_fraction = fraction;
+        self.subsample_seed = subsample_seed;
+        self
+    }
+
+    /// Runs the sweep and returns the winning seed plus the full trace.
+    /// If the subsample would hold fewer rows than `k` clusters, the
+    /// sweep falls back to the full dataset so every run can actually
+    /// form `k` centroids.
+    pub fn run(&self, data: &Mat) -> SweepResult {
+        let sample;
+        let eval_data = if self.subsample_fraction < 1.0 {
+            sample = subsample(data, self.subsample_fraction, self.subsample_seed);
+            if sample.rows() < self.config.k {
+                data
+            } else {
+                &sample
+            }
+        } else {
+            data
+        };
+        let mut outcomes = Vec::with_capacity(self.num_seeds as usize);
+        let mut best: Option<(usize, Mat)> = None;
+        for s in 0..self.num_seeds {
+            let seed = derive_seed(self.config.seed, s);
+            let cfg = KMeansConfig { seed, ..self.config };
+            let model = KMeans::train(eval_data, &cfg);
+            outcomes.push(SeedOutcome {
+                seed,
+                // A cluster emptied on the subsample counts as maximal
+                // imbalance rather than a missing value.
+                imbalance: model.imbalance().unwrap_or(f64::INFINITY),
+                inertia: model.inertia(),
+            });
+            let is_better = match &best {
+                Some((idx, _)) => {
+                    outcomes.last().expect("just pushed").imbalance < outcomes[*idx].imbalance
+                }
+                None => true,
+            };
+            if is_better {
+                best = Some((outcomes.len() - 1, model.centroids().clone()));
+            }
+        }
+        let (best_idx, best_centroids) = best.expect("num_seeds > 0");
+        SweepResult {
+            best_seed: outcomes[best_idx].seed,
+            best_imbalance: outcomes[best_idx].imbalance,
+            best_centroids,
+            outcomes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_math::rng::seeded_rng;
+    use rand::Rng;
+
+    fn blobs(n_per: usize, centers: &[[f32; 2]], seed: u64) -> Mat {
+        let mut rng = seeded_rng(seed);
+        let mut rows = Vec::new();
+        for c in centers {
+            for _ in 0..n_per {
+                rows.push(vec![
+                    c[0] + rng.gen::<f32>() * 0.2,
+                    c[1] + rng.gen::<f32>() * 0.2,
+                ]);
+            }
+        }
+        Mat::from_rows(&rows)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let data = blobs(30, &[[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]], 3);
+        let model = KMeans::train(&data, &KMeansConfig::new(3).with_seed(5));
+        assert_eq!(model.cluster_sizes().iter().sum::<usize>(), 90);
+        // Each blob should land in a single cluster.
+        for blob in 0..3 {
+            let first = model.assignments()[blob * 30];
+            for i in 0..30 {
+                assert_eq!(model.assignments()[blob * 30 + i], first, "blob {blob}");
+            }
+        }
+        assert_eq!(model.imbalance(), Some(1.0));
+    }
+
+    #[test]
+    fn plus_plus_init_also_recovers_blobs() {
+        let data = blobs(20, &[[0.0, 0.0], [8.0, 8.0]], 11);
+        let cfg = KMeansConfig::new(2)
+            .with_seed(2)
+            .with_init(Init::KMeansPlusPlus);
+        let model = KMeans::train(&data, &cfg);
+        let (a, _) = model.assign(&[0.1, 0.1]);
+        let (b, _) = model.assign(&[8.1, 8.1]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let data = blobs(25, &[[0.0, 0.0], [5.0, 0.0], [0.0, 5.0], [5.0, 5.0]], 7);
+        let i2 = KMeans::train(&data, &KMeansConfig::new(2).with_seed(1)).inertia();
+        let i4 = KMeans::train(&data, &KMeansConfig::new(4).with_seed(1)).inertia();
+        assert!(i4 < i2);
+    }
+
+    #[test]
+    fn k_clamped_to_dataset_size() {
+        let data = Mat::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let model = KMeans::train(&data, &KMeansConfig::new(10));
+        assert_eq!(model.num_clusters(), 2);
+    }
+
+    #[test]
+    fn assignments_cover_every_row() {
+        let data = blobs(10, &[[0.0, 0.0], [4.0, 4.0]], 9);
+        let model = KMeans::train(&data, &KMeansConfig::new(2));
+        assert_eq!(model.assignments().len(), data.rows());
+        assert!(model
+            .assignments()
+            .iter()
+            .all(|&a| (a as usize) < model.num_clusters()));
+    }
+
+    #[test]
+    fn nearest_centroids_returns_sorted_prefix() {
+        let data = blobs(10, &[[0.0, 0.0], [5.0, 0.0], [10.0, 0.0]], 4);
+        let model = KMeans::train(&data, &KMeansConfig::new(3).with_seed(8));
+        let order = model.nearest_centroids(&[0.0, 0.0], 3);
+        assert_eq!(order.len(), 3);
+        // First listed centroid must be the assigned one.
+        assert_eq!(order[0], model.assign(&[0.0, 0.0]).0);
+    }
+
+    #[test]
+    fn subsample_respects_fraction_bounds() {
+        let data = blobs(50, &[[0.0, 0.0]], 1);
+        assert_eq!(subsample(&data, 0.5, 3).rows(), 25);
+        assert_eq!(subsample(&data, 0.0, 3).rows(), 1);
+        assert_eq!(subsample(&data, 2.0, 3).rows(), 50);
+    }
+
+    #[test]
+    fn seed_sweep_picks_minimum_imbalance() {
+        let data = blobs(40, &[[0.0, 0.0], [6.0, 6.0]], 13);
+        let sweep = SeedSweep::new(KMeansConfig::new(2).with_seed(100), 5);
+        let result = sweep.run(&data);
+        let min = result
+            .outcomes
+            .iter()
+            .map(|o| o.imbalance)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(result.best_imbalance, min);
+    }
+
+    #[test]
+    fn seed_sweep_on_subsample_tracks_full_data() {
+        // The paper observes that 1-2% subsample imbalance tracks the full
+        // datastore; with clean blobs even a 25% subsample should find a
+        // balanced seed.
+        let data = blobs(100, &[[0.0, 0.0], [9.0, 9.0]], 17);
+        let sweep =
+            SeedSweep::new(KMeansConfig::new(2).with_seed(0), 4).with_subsample(0.25, 21);
+        let result = sweep.run(&data);
+        let full = KMeans::train(
+            &data,
+            &KMeansConfig::new(2).with_seed(result.best_seed),
+        );
+        assert!(full.imbalance().unwrap() < 1.5);
+    }
+
+    #[test]
+    fn training_is_deterministic_for_fixed_seed() {
+        let data = blobs(30, &[[0.0, 0.0], [7.0, 7.0]], 23);
+        let a = KMeans::train(&data, &KMeansConfig::new(2).with_seed(42));
+        let b = KMeans::train(&data, &KMeansConfig::new(2).with_seed(42));
+        assert_eq!(a.assignments(), b.assignments());
+        assert_eq!(a.inertia(), b.inertia());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_dataset_panics() {
+        let data = Mat::zeros(0, 4);
+        let _ = KMeans::train(&data, &KMeansConfig::new(2));
+    }
+
+    #[test]
+    fn warm_start_refines_given_centroids() {
+        let data = blobs(30, &[[0.0, 0.0], [8.0, 8.0]], 31);
+        // Deliberately poor init: both centroids in one blob.
+        let init = Mat::from_rows(&[vec![0.1, 0.1], vec![0.2, 0.2]]);
+        let cfg = KMeansConfig::new(2).with_max_iters(20);
+        let model = KMeans::train_from_centroids(&data, init, &cfg);
+        let (a, _) = model.assign(&[0.0, 0.0]);
+        let (b, _) = model.assign(&[8.0, 8.0]);
+        assert_ne!(a, b, "Lloyd refinement should separate the blobs");
+    }
+
+    #[test]
+    fn warm_start_from_subsample_preserves_sweep_imbalance() {
+        let data = blobs(200, &[[0.0, 0.0], [9.0, 9.0]], 37);
+        let sweep = SeedSweep::new(KMeansConfig::new(2).with_seed(3), 4)
+            .with_subsample(0.1, 5);
+        let result = sweep.run(&data);
+        let full = KMeans::train_from_centroids(
+            &data,
+            result.best_centroids,
+            &KMeansConfig::new(2),
+        );
+        let full_imb = full.imbalance().unwrap();
+        assert!(
+            full_imb <= result.best_imbalance * 1.5 + 0.5,
+            "subsample {} vs full {full_imb}",
+            result.best_imbalance
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn warm_start_checks_dimensions() {
+        let data = blobs(10, &[[0.0, 0.0]], 1);
+        let init = Mat::from_rows(&[vec![0.0, 0.0, 0.0]]);
+        let _ = KMeans::train_from_centroids(&data, init, &KMeansConfig::new(1));
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break_plus_plus() {
+        let data = Mat::from_rows(&vec![vec![1.0, 1.0]; 16]);
+        let cfg = KMeansConfig::new(4).with_init(Init::KMeansPlusPlus);
+        let model = KMeans::train(&data, &cfg);
+        assert_eq!(model.assignments().len(), 16);
+    }
+}

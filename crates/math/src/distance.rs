@@ -1,0 +1,257 @@
+//! Distance and similarity kernels.
+//!
+//! All indices in the workspace rank candidates by a *similarity* in which
+//! **greater is better**. For inner-product and cosine that is the raw
+//! score; for Euclidean it is the negated squared distance. Folding the
+//! orientation into one convention keeps every downstream heap, ranker and
+//! NDCG computation branch-free.
+
+use serde::{Deserialize, Serialize};
+
+/// The metric used to compare embedding vectors.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_math::Metric;
+/// let a = [1.0f32, 0.0];
+/// let b = [0.0f32, 1.0];
+/// assert!(Metric::L2.similarity(&a, &b) < Metric::L2.similarity(&a, &a));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Metric {
+    /// Euclidean distance; similarity is `-||a-b||^2`.
+    L2,
+    /// Dot product; the paper re-ranks retrieved chunks by inner product.
+    #[default]
+    InnerProduct,
+    /// Cosine similarity (inner product of normalized vectors).
+    Cosine,
+}
+
+impl Metric {
+    /// Similarity between `a` and `b` under this metric (greater = closer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` have different lengths (debug builds only; in
+    /// release the shorter length is used, which is never correct, so the
+    /// debug assertion is kept hot in tests).
+    #[inline]
+    pub fn similarity(self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        match self {
+            Metric::L2 => -l2_sq(a, b),
+            Metric::InnerProduct => inner_product(a, b),
+            Metric::Cosine => cosine(a, b),
+        }
+    }
+
+    /// Whether this metric's similarity is translation-invariant. K-means
+    /// (which minimizes L2) is still a usable coarse quantizer for IP and
+    /// cosine data in practice; this flag lets callers warn on mismatch.
+    #[inline]
+    pub fn is_euclidean(self) -> bool {
+        matches!(self, Metric::L2)
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Metric::L2 => "l2",
+            Metric::InnerProduct => "ip",
+            Metric::Cosine => "cosine",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Squared Euclidean distance `||a - b||^2`.
+///
+/// Unrolled by chunks of 4 so the autovectorizer reliably emits SIMD on the
+/// target CPUs without `unsafe` or architecture-specific intrinsics.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let base = i * 4;
+        for lane in 0..4 {
+            let d = a[base + lane] - b[base + lane];
+            acc[lane] += d * d;
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Dot product `a · b`.
+#[inline]
+pub fn inner_product(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let base = i * 4;
+        for lane in 0..4 {
+            acc[lane] += a[base + lane] * b[base + lane];
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Euclidean norm `||a||`.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    inner_product(a, a).sqrt()
+}
+
+/// Cosine similarity; `0.0` when either vector is all-zero.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    inner_product(a, b) / (na * nb)
+}
+
+/// Normalizes `v` in place to unit length; leaves all-zero vectors alone.
+#[inline]
+pub fn normalize(v: &mut [f32]) {
+    let n = norm(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// `out[i] += v[i]` — accumulate a vector into a running sum.
+#[inline]
+pub fn add_assign(out: &mut [f32], v: &[f32]) {
+    debug_assert_eq!(out.len(), v.len());
+    for (o, x) in out.iter_mut().zip(v) {
+        *o += *x;
+    }
+}
+
+/// `out[i] *= s` — in-place scalar multiply.
+#[inline]
+pub fn scale(out: &mut [f32], s: f32) {
+    for o in out.iter_mut() {
+        *o *= s;
+    }
+}
+
+/// `a[i] - b[i]` into a freshly allocated vector.
+#[inline]
+pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_of_identical_vectors_is_zero() {
+        let v = [1.0, -2.5, 3.25, 0.0, 9.0];
+        assert_eq!(l2_sq(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn l2_matches_hand_computation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 6.0, 3.0];
+        assert_eq!(l2_sq(&a, &b), 9.0 + 16.0);
+    }
+
+    #[test]
+    fn inner_product_matches_hand_computation() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(inner_product(&a, &b), 35.0);
+    }
+
+    #[test]
+    fn cosine_is_one_for_parallel_vectors() {
+        let a = [2.0, 0.0, 0.0];
+        let b = [7.5, 0.0, 0.0];
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        let a = [0.0, 0.0];
+        let b = [1.0, 1.0];
+        assert_eq!(cosine(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn normalize_produces_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_leaves_zero_vector() {
+        let mut v = vec![0.0; 8];
+        normalize(&mut v);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn metric_similarity_orients_l2_correctly() {
+        let q = [0.0, 0.0];
+        let near = [0.1, 0.1];
+        let far = [5.0, 5.0];
+        assert!(Metric::L2.similarity(&q, &near) > Metric::L2.similarity(&q, &far));
+    }
+
+    #[test]
+    fn metric_display_is_stable() {
+        assert_eq!(Metric::L2.to_string(), "l2");
+        assert_eq!(Metric::InnerProduct.to_string(), "ip");
+        assert_eq!(Metric::Cosine.to_string(), "cosine");
+    }
+
+    #[test]
+    fn add_assign_and_scale_compose_to_mean() {
+        let mut acc = vec![0.0; 3];
+        add_assign(&mut acc, &[1.0, 2.0, 3.0]);
+        add_assign(&mut acc, &[3.0, 2.0, 1.0]);
+        scale(&mut acc, 0.5);
+        assert_eq!(acc, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn sub_subtracts_elementwise() {
+        assert_eq!(sub(&[3.0, 5.0], &[1.0, 2.0]), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn kernels_handle_non_multiple_of_four_lengths() {
+        for len in [1usize, 2, 3, 5, 7, 9, 17] {
+            let a: Vec<f32> = (0..len).map(|i| i as f32).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i * 2) as f32).collect();
+            let naive_l2: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+            let naive_ip: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((l2_sq(&a, &b) - naive_l2).abs() < 1e-4, "len {len}");
+            assert!((inner_product(&a, &b) - naive_ip).abs() < 1e-4, "len {len}");
+        }
+    }
+}

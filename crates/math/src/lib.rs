@@ -1,0 +1,41 @@
+//! Vector math substrate for the Hermes reproduction.
+//!
+//! This crate provides the numeric building blocks every other crate in the
+//! workspace leans on:
+//!
+//! * [`distance`] — distance/similarity kernels ([`Metric`]) used by the
+//!   flat, IVF and HNSW indices,
+//! * [`topk`] — bounded best-k selection ([`topk::TopK`]),
+//! * [`matrix`] — a minimal row-major matrix ([`matrix::Mat`]) used for OPQ
+//!   rotations and K-means centroid tables,
+//! * [`stats`] — online and batch summary statistics used by the metrics
+//!   and performance-model crates,
+//! * [`rng`] — deterministic, seed-derivable random number generators.
+//!
+//! # Examples
+//!
+//! ```
+//! use hermes_math::{Metric, topk::TopK};
+//!
+//! let query = [1.0f32, 0.0];
+//! let docs = [[0.9f32, 0.1], [0.0, 1.0]];
+//! let mut best = TopK::new(1);
+//! for (id, d) in docs.iter().enumerate() {
+//!     best.push(id as u64, Metric::InnerProduct.similarity(&query, d));
+//! }
+//! assert_eq!(best.into_sorted_vec()[0].id, 0);
+//! ```
+
+pub mod distance;
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+pub mod topk;
+pub mod wire;
+
+pub use distance::Metric;
+pub use matrix::Mat;
+pub use topk::{Neighbor, TopK};
+
+/// The scalar element type used for all embeddings in the workspace.
+pub type Scalar = f32;

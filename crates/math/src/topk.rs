@@ -1,0 +1,250 @@
+//! Bounded best-k selection.
+//!
+//! Every search path in the workspace — flat scan, IVF inverted-list probe,
+//! HNSW beam, Hermes cluster ranking — funnels candidates through
+//! [`TopK`], a fixed-capacity min-heap keeping the `k` items with the
+//! highest similarity.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scored search hit: a document id plus its similarity to the query
+/// (greater = closer; see [`crate::Metric`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Identifier of the matched vector/document.
+    pub id: u64,
+    /// Similarity score; greater is better.
+    pub score: f32,
+}
+
+impl Neighbor {
+    /// Creates a neighbor from an id and a similarity score.
+    pub fn new(id: u64, score: f32) -> Self {
+        Neighbor { id, score }
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Best-first total order: a higher score compares as `Less` so an
+        // ascending sort yields best-first output. Ties break by id for
+        // cross-run determinism; NaN scores sort last.
+        match other.score.partial_cmp(&self.score) {
+            Some(ord) => ord.then_with(|| self.id.cmp(&other.id)),
+            None => match (self.score.is_nan(), other.score.is_nan()) {
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                _ => self.id.cmp(&other.id),
+            },
+        }
+    }
+}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Fixed-capacity selector retaining the `k` highest-scoring items.
+///
+/// Push is `O(log k)`; pushes that cannot beat the current worst are `O(1)`.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_math::topk::TopK;
+/// let mut t = TopK::new(2);
+/// for (id, s) in [(0u64, 0.1f32), (1, 0.9), (2, 0.5)] {
+///     t.push(id, s);
+/// }
+/// let ids: Vec<u64> = t.into_sorted_vec().iter().map(|n| n.id).collect();
+/// assert_eq!(ids, vec![1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    // Max-heap under the best-first `Neighbor` ordering, so `peek()` is the
+    // *worst* retained hit — the eviction candidate.
+    heap: BinaryHeap<Neighbor>,
+}
+
+impl TopK {
+    /// Creates a selector for the best `k` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`; an empty selection is never meaningful in a
+    /// search path and indicates a configuration bug.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "TopK capacity must be positive");
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// The capacity `k` this selector was created with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of items currently held (`<= k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no item has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Current lowest retained score, or `None` while under capacity.
+    ///
+    /// Search loops use this as an early-termination bound: a candidate
+    /// whose upper-bound similarity is below `worst_score` cannot enter.
+    pub fn worst_score(&self) -> Option<f32> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|n| n.score)
+        }
+    }
+
+    /// Offers `(id, score)`; returns `true` if it was retained.
+    pub fn push(&mut self, id: u64, score: f32) -> bool {
+        let cand = Neighbor::new(id, score);
+        if self.heap.len() < self.k {
+            self.heap.push(cand);
+            return true;
+        }
+        let worst = *self.heap.peek().expect("non-empty at capacity");
+        // `cand < worst` under the best-first ordering means cand is better.
+        if cand.cmp(&worst) == Ordering::Less {
+            self.heap.pop();
+            self.heap.push(cand);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the selector, returning hits sorted best-first.
+    pub fn into_sorted_vec(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort();
+        v
+    }
+}
+
+impl Extend<Neighbor> for TopK {
+    fn extend<T: IntoIterator<Item = Neighbor>>(&mut self, iter: T) {
+        for n in iter {
+            self.push(n.id, n.score);
+        }
+    }
+}
+
+/// Merges several already-sorted result lists into a single best-first
+/// top-`k` list. Used to aggregate per-cluster deep-search results.
+pub fn merge_topk(lists: &[Vec<Neighbor>], k: usize) -> Vec<Neighbor> {
+    let mut sel = TopK::new(k.max(1));
+    for list in lists {
+        for n in list {
+            sel.push(n.id, n.score);
+        }
+    }
+    let mut out = sel.into_sorted_vec();
+    out.truncate(k);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let mut t = TopK::new(3);
+        for i in 0..10u64 {
+            t.push(i, i as f32);
+        }
+        let ids: Vec<u64> = t.into_sorted_vec().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn output_is_sorted_descending_by_score() {
+        let mut t = TopK::new(5);
+        for (i, s) in [(1u64, 0.3f32), (2, 0.9), (3, 0.1), (4, 0.7)] {
+            t.push(i, s);
+        }
+        let v = t.into_sorted_vec();
+        for w in v.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn ties_break_by_id_for_determinism() {
+        let mut t = TopK::new(2);
+        t.push(7, 0.5);
+        t.push(3, 0.5);
+        t.push(5, 0.5);
+        let ids: Vec<u64> = t.into_sorted_vec().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 5]);
+    }
+
+    #[test]
+    fn worst_score_none_until_full() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.worst_score(), None);
+        t.push(0, 1.0);
+        assert_eq!(t.worst_score(), None);
+        t.push(1, 2.0);
+        assert_eq!(t.worst_score(), Some(1.0));
+    }
+
+    #[test]
+    fn push_returns_whether_retained() {
+        let mut t = TopK::new(1);
+        assert!(t.push(0, 1.0));
+        assert!(!t.push(1, 0.5));
+        assert!(t.push(2, 2.0));
+    }
+
+    #[test]
+    fn nan_scores_never_displace_real_scores() {
+        let mut t = TopK::new(2);
+        t.push(0, 1.0);
+        t.push(1, 2.0);
+        t.push(2, f32::NAN);
+        let ids: Vec<u64> = t.into_sorted_vec().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 0]);
+    }
+
+    #[test]
+    fn merge_topk_aggregates_across_lists() {
+        let a = vec![Neighbor::new(1, 0.9), Neighbor::new(2, 0.4)];
+        let b = vec![Neighbor::new(3, 0.8), Neighbor::new(4, 0.1)];
+        let merged = merge_topk(&[a, b], 3);
+        let ids: Vec<u64> = merged.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = TopK::new(0);
+    }
+
+    #[test]
+    fn extend_accepts_neighbors() {
+        let mut t = TopK::new(2);
+        t.extend(vec![Neighbor::new(0, 0.1), Neighbor::new(1, 0.9)]);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,16 @@
+//! Evaluation metrics and reporting for the Hermes reproduction.
+//!
+//! * [`ranking`] — NDCG (the paper's retrieval-quality metric, computed
+//!   against a brute-force ground truth), recall@k and overlap.
+//! * [`energy`] — joule/watt accounting mirroring the paper's RAPL/pynvml
+//!   measurements, plus throughput helpers.
+//! * [`report`] — ASCII tables and series used by every bench binary to
+//!   print paper-vs-measured rows.
+
+pub mod energy;
+pub mod ranking;
+pub mod report;
+
+pub use energy::{EnergyMeter, StageEnergy};
+pub use ranking::{ndcg_at_k, overlap_at_k, recall_at_k};
+pub use report::{normalize_to_max, Row, Table};

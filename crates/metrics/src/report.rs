@@ -1,0 +1,192 @@
+//! ASCII reporting used by the bench binaries.
+//!
+//! Every figure/table binary prints its rows through [`Table`], always
+//! with a `paper` column next to the `measured` column so EXPERIMENTS.md
+//! can be regenerated mechanically.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of a report table: a label plus formatted cells.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Row {
+    /// Row label (first column).
+    pub label: String,
+    /// Remaining cells, pre-formatted.
+    pub cells: Vec<String>,
+}
+
+impl Row {
+    /// Builds a row from a label and cell values.
+    pub fn new(label: impl Into<String>, cells: Vec<String>) -> Self {
+        Row {
+            label: label.into(),
+            cells,
+        }
+    }
+}
+
+/// A fixed-column ASCII table.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_metrics::{Row, Table};
+/// let mut t = Table::new("Table 1", &["scheme", "recall", "bytes"]);
+/// t.push(Row::new("SQ8", vec!["0.94".into(), "768".into()]));
+/// let rendered = t.render();
+/// assert!(rendered.contains("SQ8"));
+/// assert!(rendered.contains("recall"));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers (the first header
+    /// names the label column).
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has more cells than the header allows.
+    pub fn push(&mut self, row: Row) {
+        assert!(
+            row.cells.len() < self.headers.len(),
+            "row wider than header"
+        );
+        self.rows.push(row);
+    }
+
+    /// The rows pushed so far.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            widths[0] = widths[0].max(row.label.len());
+            for (i, c) in row.cells.iter().enumerate() {
+                widths[i + 1] = widths[i + 1].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let mut header = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            header.push_str(&format!("{:<width$}  ", h, width = widths[i]));
+        }
+        out.push_str(header.trim_end());
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            let mut line = format!("{:<width$}  ", row.label, width = widths[0]);
+            for (i, c) in row.cells.iter().enumerate() {
+                line.push_str(&format!("{:<width$}  ", c, width = widths[i + 1]));
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for row in &self.rows {
+            let mut cells = vec![row.label.clone()];
+            cells.extend(row.cells.iter().cloned());
+            while cells.len() < self.headers.len() {
+                cells.push(String::new());
+            }
+            out.push_str(&format!("| {} |\n", cells.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Normalizes a series so its maximum is `1.0` — how the paper plots
+/// latency/energy comparisons (Figures 14, 16, 17, 21). An all-zero series
+/// is returned unchanged.
+pub fn normalize_to_max(values: &[f64]) -> Vec<f64> {
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() || max <= 0.0 {
+        return values.to_vec();
+    }
+    values.iter().map(|v| v / max).collect()
+}
+
+/// Formats a float with `digits` significant decimals, trimming noise.
+pub fn fmt(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_all_cells() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push(Row::new("r1", vec!["x".into()]));
+        t.push(Row::new("r2", vec!["y".into()]));
+        let s = t.render();
+        for needle in ["T", "a", "b", "r1", "r2", "x", "y"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn markdown_has_header_separator() {
+        let mut t = Table::new("M", &["col", "v"]);
+        t.push(Row::new("row", vec!["1".into()]));
+        let md = t.render_markdown();
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| row | 1 |"));
+    }
+
+    #[test]
+    fn normalize_to_max_peaks_at_one() {
+        let n = normalize_to_max(&[2.0, 4.0, 1.0]);
+        assert_eq!(n, vec![0.5, 1.0, 0.25]);
+    }
+
+    #[test]
+    fn normalize_handles_degenerate_series() {
+        assert_eq!(normalize_to_max(&[0.0, 0.0]), vec![0.0, 0.0]);
+        assert!(normalize_to_max(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "wider")]
+    fn overwide_rows_rejected() {
+        let mut t = Table::new("T", &["only"]);
+        t.push(Row::new("r", vec!["too".into(), "many".into()]));
+    }
+
+    #[test]
+    fn fmt_controls_decimals() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(9.0, 0), "9");
+    }
+}

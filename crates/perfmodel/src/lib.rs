@@ -1,0 +1,31 @@
+//! Calibrated device performance/power models — the reproduction of the
+//! paper's multi-node analysis tool (Figure 15).
+//!
+//! The paper measures single-node latency and power (Intel RAPL, pynvml)
+//! on real hardware and aggregates those measurements through lookup
+//! tables to model multi-node deployments. This crate reproduces the
+//! *tool*, seeding its lookup models with the paper's published anchors
+//! (see [`calibration`]) instead of re-measuring. All models are analytic
+//! in their free variables (datastore size, batch, `nProbe`, sequence
+//! lengths) so benches can sweep configurations the paper sweeps.
+//!
+//! Modules:
+//!
+//! * [`cpu`] — CPU retrieval platforms ([`cpu::CpuPlatform`]) and the IVF
+//!   retrieval latency/power model ([`cpu::RetrievalModel`]).
+//! * [`gpu`] — GPU platforms, LLM cost models and the query encoder.
+//! * [`dvfs`] — frequency/power scaling used by the Figure 21 study.
+//! * [`planner`] — cluster-size planning for retrieval/inference overlap
+//!   (Figures 10 and 19).
+//! * [`calibration`] — every constant, with the paper anchor it matches.
+
+pub mod calibration;
+pub mod cpu;
+pub mod dvfs;
+pub mod gpu;
+pub mod planner;
+
+pub use cpu::{CpuPlatform, RetrievalModel};
+pub use dvfs::DvfsModel;
+pub use gpu::{EncoderModel, GpuPlatform, InferenceModel, LlmModel};
+pub use planner::ClusterPlanner;

@@ -1,0 +1,129 @@
+//! Retrieval-quality evaluation harness — the accuracy-evaluation script
+//! of the paper's artifact, as a library call.
+
+use hermes_datagen::{Corpus, QuerySet};
+use hermes_core::HermesError;
+use hermes_index::{FlatIndex, SearchParams, VectorIndex};
+use hermes_metrics::{ndcg_at_k, recall_at_k};
+use serde::{Deserialize, Serialize};
+
+use crate::retriever::Retriever;
+
+/// Aggregate quality/work metrics of one retriever over one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Mean NDCG@k against the brute-force oracle.
+    pub mean_ndcg: f64,
+    /// Mean recall@k against the oracle.
+    pub mean_recall: f64,
+    /// Mean vector codes scanned per query.
+    pub codes_per_query: f64,
+    /// Mean clusters deep-searched per query.
+    pub clusters_per_query: f64,
+    /// Queries evaluated.
+    pub num_queries: usize,
+}
+
+/// Evaluates `retriever` on `queries` with ground truth computed by an
+/// exhaustive scan of `corpus` — exactly the paper's NDCG protocol
+/// (Section 5).
+///
+/// # Errors
+///
+/// Propagates retrieval/index failures.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_core::HermesConfig;
+/// use hermes_datagen::{Corpus, CorpusSpec, QuerySet, QuerySpec};
+/// use hermes_rag::{eval::evaluate_retriever, Retriever, RetrieverKind};
+///
+/// let corpus = Corpus::generate(CorpusSpec::new(400, 8, 4).with_seed(1));
+/// let queries = QuerySet::generate(&corpus, QuerySpec::new(10).with_seed(2));
+/// let cfg = HermesConfig::new(4).with_clusters_to_search(2).with_seed(3);
+/// let retriever = Retriever::build(RetrieverKind::Hermes, corpus.embeddings(), &cfg)?;
+/// let report = evaluate_retriever(&retriever, &corpus, &queries)?;
+/// assert!(report.mean_ndcg > 0.5);
+/// # Ok::<(), hermes_core::HermesError>(())
+/// ```
+pub fn evaluate_retriever(
+    retriever: &Retriever,
+    corpus: &Corpus,
+    queries: &QuerySet,
+) -> Result<EvalReport, HermesError> {
+    let k = retriever.config().k;
+    let oracle = FlatIndex::new(corpus.embeddings().clone(), retriever.config().metric);
+    let mut ndcg_sum = 0.0;
+    let mut recall_sum = 0.0;
+    let mut codes = 0usize;
+    let mut clusters = 0usize;
+    for q in queries.embeddings().iter_rows() {
+        let truth: Vec<u64> = oracle
+            .search(q, k, &SearchParams::new())?
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        let r = retriever.retrieve(q)?;
+        let ids: Vec<u64> = r.hits.iter().map(|n| n.id).collect();
+        ndcg_sum += ndcg_at_k(&truth, &ids, k);
+        recall_sum += recall_at_k(&truth, &ids, k);
+        codes += r.scanned_codes;
+        clusters += r.clusters_searched;
+    }
+    let n = queries.len();
+    Ok(EvalReport {
+        mean_ndcg: ndcg_sum / n as f64,
+        mean_recall: recall_sum / n as f64,
+        codes_per_query: codes as f64 / n as f64,
+        clusters_per_query: clusters as f64 / n as f64,
+        num_queries: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retriever::RetrieverKind;
+    use hermes_core::HermesConfig;
+    use hermes_datagen::{CorpusSpec, QuerySpec};
+
+    fn setup() -> (Corpus, QuerySet, HermesConfig) {
+        let corpus = Corpus::generate(CorpusSpec::new(800, 16, 8).with_seed(71));
+        let queries = QuerySet::generate(&corpus, QuerySpec::new(20).with_seed(72));
+        let cfg = HermesConfig::new(8).with_clusters_to_search(3).with_seed(73);
+        (corpus, queries, cfg)
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let (corpus, queries, cfg) = setup();
+        let r = Retriever::build(RetrieverKind::Hermes, corpus.embeddings(), &cfg).unwrap();
+        let report = evaluate_retriever(&r, &corpus, &queries).unwrap();
+        assert_eq!(report.num_queries, 20);
+        assert!((0.0..=1.0).contains(&report.mean_ndcg));
+        assert!((0.0..=1.0).contains(&report.mean_recall));
+        assert!(report.codes_per_query > 0.0);
+        assert!((report.clusters_per_query - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monolithic_reports_one_cluster_per_query() {
+        let (corpus, queries, cfg) = setup();
+        let r = Retriever::build(RetrieverKind::Monolithic, corpus.embeddings(), &cfg).unwrap();
+        let report = evaluate_retriever(&r, &corpus, &queries).unwrap();
+        assert_eq!(report.clusters_per_query, 1.0);
+        assert!(report.mean_ndcg > 0.8);
+    }
+
+    #[test]
+    fn hermes_quality_close_to_monolithic_with_less_work() {
+        let (corpus, queries, cfg) = setup();
+        let mono = Retriever::build(RetrieverKind::Monolithic, corpus.embeddings(), &cfg).unwrap();
+        let hermes = Retriever::build(RetrieverKind::Hermes, corpus.embeddings(), &cfg).unwrap();
+        let rm = evaluate_retriever(&mono, &corpus, &queries).unwrap();
+        let rh = evaluate_retriever(&hermes, &corpus, &queries).unwrap();
+        assert!(rh.mean_ndcg > rm.mean_ndcg - 0.1);
+        assert!(rh.codes_per_query < rm.codes_per_query);
+    }
+}

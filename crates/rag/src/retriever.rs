@@ -1,0 +1,306 @@
+//! Unified front over the retrieval strategies the paper compares.
+
+use hermes_core::{ClusteredStore, HermesConfig, HermesError, Routing, SplitStrategy};
+use hermes_index::{IvfIndex, SearchParams, VectorIndex};
+use hermes_math::{Mat, Metric, Neighbor};
+use hermes_quant::CodecSpec;
+use serde::{Deserialize, Serialize};
+
+/// Which search strategy a [`Retriever`] runs (the four curves of
+/// Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetrieverKind {
+    /// Single IVF index over the whole datastore.
+    Monolithic,
+    /// Round-robin split searched without routing (deep search on the
+    /// first `clusters_to_search` clusters).
+    NaiveSplit,
+    /// K-means split routed by split-centroid similarity.
+    CentroidRouted,
+    /// K-means split routed by document sampling — Hermes proper.
+    Hermes,
+}
+
+impl std::fmt::Display for RetrieverKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RetrieverKind::Monolithic => "Monolithic",
+            RetrieverKind::NaiveSplit => "Split",
+            RetrieverKind::CentroidRouted => "Centroid-Based",
+            RetrieverKind::Hermes => "Hermes",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of one retrieval call with work accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Retrieval {
+    /// Top-k hits, best first.
+    pub hits: Vec<Neighbor>,
+    /// Vector codes scored to produce them.
+    pub scanned_codes: usize,
+    /// Clusters deep-searched (1 for monolithic).
+    pub clusters_searched: usize,
+}
+
+enum Backend {
+    Monolithic(Box<IvfIndex>),
+    Clustered(Box<ClusteredStore>),
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Monolithic(_) => f.write_str("Backend::Monolithic"),
+            Backend::Clustered(_) => f.write_str("Backend::Clustered"),
+        }
+    }
+}
+
+/// A retrieval strategy instantiated over a concrete corpus.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_core::HermesConfig;
+/// use hermes_math::Mat;
+/// use hermes_rag::{Retriever, RetrieverKind};
+///
+/// let rows: Vec<Vec<f32>> = (0..200).map(|i| vec![(i % 4) as f32, 1.0]).collect();
+/// let data = Mat::from_rows(&rows);
+/// let cfg = HermesConfig::new(4).with_clusters_to_search(2);
+/// let retriever = Retriever::build(RetrieverKind::Hermes, &data, &cfg)?;
+/// let r = retriever.retrieve(&[1.0, 1.0])?;
+/// assert_eq!(r.hits.len(), cfg.k);
+/// # Ok::<(), hermes_core::HermesError>(())
+/// ```
+#[derive(Debug)]
+pub struct Retriever {
+    kind: RetrieverKind,
+    config: HermesConfig,
+    backend: Backend,
+}
+
+impl Retriever {
+    /// Builds a retriever of `kind` over `data`. The `config` supplies
+    /// every knob (cluster count, nProbes, k, codec, metric, seed); kinds
+    /// that ignore a knob (e.g. monolithic ignores cluster count) simply
+    /// don't read it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and index-build failures.
+    pub fn build(
+        kind: RetrieverKind,
+        data: &Mat,
+        config: &HermesConfig,
+    ) -> Result<Self, HermesError> {
+        let backend = match kind {
+            RetrieverKind::Monolithic => {
+                let index = IvfIndex::builder()
+                    .codec(config.codec)
+                    .metric(config.metric)
+                    .seed(config.seed)
+                    .build(data)?;
+                Backend::Monolithic(Box::new(index))
+            }
+            RetrieverKind::NaiveSplit => {
+                let cfg = config
+                    .with_split(SplitStrategy::RoundRobin)
+                    .with_routing(Routing::Unranked);
+                Backend::Clustered(Box::new(ClusteredStore::build(data, &cfg)?))
+            }
+            RetrieverKind::CentroidRouted => {
+                let cfg = config.with_routing(Routing::CentroidOnly);
+                Backend::Clustered(Box::new(ClusteredStore::build(data, &cfg)?))
+            }
+            RetrieverKind::Hermes => {
+                let cfg = config.with_routing(Routing::DocumentSampling);
+                Backend::Clustered(Box::new(ClusteredStore::build(data, &cfg)?))
+            }
+        };
+        Ok(Retriever {
+            kind,
+            config: *config,
+            backend,
+        })
+    }
+
+    /// The strategy this retriever runs.
+    pub fn kind(&self) -> RetrieverKind {
+        self.kind
+    }
+
+    /// The configuration it was built with.
+    pub fn config(&self) -> &HermesConfig {
+        &self.config
+    }
+
+    /// The embedding dimensionality served.
+    pub fn dim(&self) -> usize {
+        match &self.backend {
+            Backend::Monolithic(index) => index.dim(),
+            Backend::Clustered(store) => store.shard(0).dim(),
+        }
+    }
+
+    /// Resident index bytes.
+    pub fn memory_bytes(&self) -> usize {
+        match &self.backend {
+            Backend::Monolithic(index) => index.memory_bytes(),
+            Backend::Clustered(store) => store.memory_bytes(),
+        }
+    }
+
+    /// The underlying clustered store, when the strategy has one.
+    pub fn clustered_store(&self) -> Option<&ClusteredStore> {
+        match &self.backend {
+            Backend::Clustered(store) => Some(store),
+            Backend::Monolithic(_) => None,
+        }
+    }
+
+    /// Retrieves the configured top-k for `query`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index errors (dimension mismatch, empty index).
+    pub fn retrieve(&self, query: &[f32]) -> Result<Retrieval, HermesError> {
+        match &self.backend {
+            Backend::Monolithic(index) => {
+                let params = SearchParams::new().with_nprobe(self.config.deep_nprobe);
+                let hits = index.search(query, self.config.k, &params)?;
+                Ok(Retrieval {
+                    hits,
+                    scanned_codes: index.probe_cost(query, self.config.deep_nprobe),
+                    clusters_searched: 1,
+                })
+            }
+            Backend::Clustered(store) => {
+                let out = store.hierarchical_search(query)?;
+                Ok(Retrieval {
+                    hits: out.hits,
+                    scanned_codes: out.sample_cost.scanned_codes + out.deep_cost.scanned_codes,
+                    clusters_searched: out.deep_cost.clusters_touched,
+                })
+            }
+        }
+    }
+
+    /// Reranks hits by exact inner product against `query` and returns the
+    /// single best chunk id — the paper prepends the nearest of the 5
+    /// retrieved chunks (Section 5). Hits already carry inner-product
+    /// scores, so this selects the max; exposed for clarity at the
+    /// pipeline layer.
+    pub fn best_of(hits: &[Neighbor]) -> Option<u64> {
+        hits.iter()
+            .max_by(|a, b| {
+                a.score
+                    .partial_cmp(&b.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|n| n.id)
+    }
+}
+
+/// Convenience: default metric/codec used across the evaluation.
+pub fn default_metric() -> Metric {
+    Metric::InnerProduct
+}
+
+/// Convenience: the paper's deployment codec.
+pub fn default_codec() -> CodecSpec {
+    CodecSpec::Sq8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_datagen::{Corpus, CorpusSpec, QuerySet, QuerySpec};
+    use hermes_index::FlatIndex;
+    use hermes_metrics::{ndcg_at_k, ranking::ids};
+
+    fn setup() -> (Corpus, QuerySet, HermesConfig) {
+        let corpus = Corpus::generate(CorpusSpec::new(800, 16, 8).with_seed(2));
+        let queries = QuerySet::generate(&corpus, QuerySpec::new(20).with_seed(3));
+        let cfg = HermesConfig::new(8).with_seed(4).with_clusters_to_search(3);
+        (corpus, queries, cfg)
+    }
+
+    #[test]
+    fn all_kinds_build_and_retrieve() {
+        let (corpus, queries, cfg) = setup();
+        for kind in [
+            RetrieverKind::Monolithic,
+            RetrieverKind::NaiveSplit,
+            RetrieverKind::CentroidRouted,
+            RetrieverKind::Hermes,
+        ] {
+            let r = Retriever::build(kind, corpus.embeddings(), &cfg).unwrap();
+            let out = r.retrieve(queries.embeddings().row(0)).unwrap();
+            assert_eq!(out.hits.len(), cfg.k, "{kind}");
+            assert!(out.scanned_codes > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn hermes_scans_fewer_codes_than_monolithic() {
+        let (corpus, queries, cfg) = setup();
+        let mono = Retriever::build(RetrieverKind::Monolithic, corpus.embeddings(), &cfg).unwrap();
+        let hermes = Retriever::build(RetrieverKind::Hermes, corpus.embeddings(), &cfg).unwrap();
+        let mut mono_codes = 0usize;
+        let mut hermes_codes = 0usize;
+        for q in queries.embeddings().iter_rows() {
+            mono_codes += mono.retrieve(q).unwrap().scanned_codes;
+            hermes_codes += hermes.retrieve(q).unwrap().scanned_codes;
+        }
+        assert!(
+            hermes_codes < mono_codes,
+            "hermes {hermes_codes} vs mono {mono_codes}"
+        );
+    }
+
+    #[test]
+    fn quality_ordering_matches_figure_11() {
+        let (corpus, queries, cfg) = setup();
+        let flat = FlatIndex::new(corpus.embeddings().clone(), cfg.metric);
+        let mut ndcg = std::collections::HashMap::new();
+        for kind in [
+            RetrieverKind::Monolithic,
+            RetrieverKind::NaiveSplit,
+            RetrieverKind::Hermes,
+        ] {
+            let r = Retriever::build(kind, corpus.embeddings(), &cfg).unwrap();
+            let mut sum = 0.0;
+            for q in queries.embeddings().iter_rows() {
+                let truth = ids(&flat.search(q, cfg.k, &SearchParams::new()).unwrap());
+                sum += ndcg_at_k(&truth, &ids(&r.retrieve(q).unwrap().hits), cfg.k);
+            }
+            ndcg.insert(format!("{kind}"), sum / queries.len() as f64);
+        }
+        let h = ndcg["Hermes"];
+        let s = ndcg["Split"];
+        let m = ndcg["Monolithic"];
+        assert!(h > s, "hermes {h} vs split {s}");
+        assert!(h > m - 0.1, "hermes {h} should be near monolithic {m}");
+    }
+
+    #[test]
+    fn best_of_picks_highest_score() {
+        let hits = vec![Neighbor::new(1, 0.2), Neighbor::new(2, 0.9), Neighbor::new(3, 0.5)];
+        assert_eq!(Retriever::best_of(&hits), Some(2));
+        assert_eq!(Retriever::best_of(&[]), None);
+    }
+
+    #[test]
+    fn memory_is_reported_for_both_backends() {
+        let (corpus, _, cfg) = setup();
+        let mono = Retriever::build(RetrieverKind::Monolithic, corpus.embeddings(), &cfg).unwrap();
+        let hermes = Retriever::build(RetrieverKind::Hermes, corpus.embeddings(), &cfg).unwrap();
+        assert!(mono.memory_bytes() > 0);
+        assert!(hermes.memory_bytes() > 0);
+        assert!(hermes.clustered_store().is_some());
+        assert!(mono.clustered_store().is_none());
+    }
+}

@@ -1,0 +1,25 @@
+//! Multi-node RAG serving simulator — the reproduction of the paper's
+//! multi-node analysis tool (Figure 15).
+//!
+//! The tool aggregates per-node device-model latencies and powers
+//! ([`hermes_perfmodel`]) into end-to-end serving metrics for a chosen
+//! deployment, retrieval scheme and pipeline policy. It regenerates the
+//! paper's Figures 8, 14, 16, 17, 18, 20 and 21.
+//!
+//! * [`deployment`] — node topology: which clusters live on which CPU
+//!   platform, their token counts and deep-search access frequencies.
+//! * [`engine`] — the aggregation itself: per-stride stage latencies,
+//!   pipeline overlap (PipeRAG), prefix-cache reuse (RAGCache), DVFS
+//!   energy policies, and steady-state throughput.
+//! * [`report`] — the structured result (TTFT, E2E, stage breakdown,
+//!   energy meter, timeline spans).
+
+pub mod deployment;
+pub mod engine;
+pub mod queueing;
+pub mod report;
+
+pub use deployment::{ClusterNode, Deployment};
+pub use engine::{DvfsMode, MultiNodeSim, PipelinePolicy, RetrievalScheme, ServingConfig};
+pub use queueing::{simulate_md1, QueueReport};
+pub use report::{SimReport, StageSpan};

@@ -1,0 +1,110 @@
+//! Integration: corpus generation → clustered store → strided RAG
+//! pipeline → retrieval-quality measurement, spanning every crate.
+
+use hermes::prelude::*;
+
+fn corpus() -> Corpus {
+    Corpus::generate(CorpusSpec::new(1500, 24, 10).with_seed(11))
+}
+
+#[test]
+fn full_hermes_pipeline_preserves_retrieval_quality() {
+    let corpus = corpus();
+    let queries = QuerySet::generate(&corpus, QuerySpec::new(25).with_seed(12));
+    let cfg = HermesConfig::new(10)
+        .with_clusters_to_search(3)
+        .with_seed(13);
+
+    let hermes = Retriever::build(RetrieverKind::Hermes, corpus.embeddings(), &cfg).unwrap();
+    let oracle = FlatIndex::new(corpus.embeddings().clone(), Metric::InnerProduct);
+
+    let mut ndcg_sum = 0.0;
+    for q in queries.embeddings().iter_rows() {
+        let truth: Vec<u64> = oracle
+            .search(q, cfg.k, &SearchParams::new())
+            .unwrap()
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        let got: Vec<u64> = hermes
+            .retrieve(q)
+            .unwrap()
+            .hits
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        ndcg_sum += ndcg_at_k(&truth, &got, cfg.k);
+    }
+    let mean = ndcg_sum / queries.len() as f64;
+    assert!(mean > 0.8, "end-to-end Hermes NDCG {mean}");
+}
+
+#[test]
+fn strided_generation_runs_over_hermes_store() {
+    let corpus = corpus();
+    let queries = QuerySet::generate(&corpus, QuerySpec::new(3).with_seed(14));
+    let cfg = HermesConfig::new(10)
+        .with_clusters_to_search(3)
+        .with_seed(15);
+    let retriever = Retriever::build(RetrieverKind::Hermes, corpus.embeddings(), &cfg).unwrap();
+    let pipeline = RagPipeline::new(retriever, ChunkStore::new(100))
+        .with_output_tokens(128)
+        .with_stride(16);
+
+    let t = pipeline.generate(queries.embeddings().row(0), 99).unwrap();
+    assert_eq!(t.strides.len(), 8);
+    assert_eq!(t.output_tokens, 128);
+    // Every stride retrieved and augmented.
+    for s in &t.strides {
+        assert_eq!(s.retrieved.len(), cfg.k);
+        assert!(s.scanned_codes > 0);
+    }
+}
+
+#[test]
+fn text_queries_flow_through_the_hash_encoder() {
+    let corpus = Corpus::generate(CorpusSpec::new(400, 64, 4).with_seed(21));
+    let cfg = HermesConfig::new(4)
+        .with_clusters_to_search(2)
+        .with_seed(22);
+    let retriever = Retriever::build(RetrieverKind::Hermes, corpus.embeddings(), &cfg).unwrap();
+    let encoder = HashEncoder::new(retriever.dim());
+    let q = encoder.encode("what datastore cluster holds the relevant context");
+    let hits = retriever.retrieve(&q).unwrap().hits;
+    assert_eq!(hits.len(), cfg.k);
+}
+
+#[test]
+fn hermes_work_reduction_vs_monolithic_is_substantial() {
+    let corpus = corpus();
+    let queries = QuerySet::generate(&corpus, QuerySpec::new(20).with_seed(16));
+    let cfg = HermesConfig::new(10)
+        .with_clusters_to_search(3)
+        .with_seed(17);
+    let mono = Retriever::build(RetrieverKind::Monolithic, corpus.embeddings(), &cfg).unwrap();
+    let hermes = Retriever::build(RetrieverKind::Hermes, corpus.embeddings(), &cfg).unwrap();
+
+    let mut mono_work = 0usize;
+    let mut hermes_work = 0usize;
+    for q in queries.embeddings().iter_rows() {
+        mono_work += mono.retrieve(q).unwrap().scanned_codes;
+        hermes_work += hermes.retrieve(q).unwrap().scanned_codes;
+    }
+    assert!(
+        (hermes_work as f64) < mono_work as f64 * 0.9,
+        "hermes {hermes_work} vs mono {mono_work}"
+    );
+}
+
+#[test]
+fn quantized_store_is_smaller_than_flat_store() {
+    let corpus = corpus();
+    let sq8_cfg = HermesConfig::new(5)
+        .with_clusters_to_search(2)
+        .with_seed(18)
+        .with_codec(CodecSpec::Sq8);
+    let flat_cfg = sq8_cfg.with_codec(CodecSpec::Flat);
+    let sq8 = ClusteredStore::build(corpus.embeddings(), &sq8_cfg).unwrap();
+    let flat = ClusteredStore::build(corpus.embeddings(), &flat_cfg).unwrap();
+    assert!(sq8.memory_bytes() < flat.memory_bytes());
+}

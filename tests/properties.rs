@@ -1,0 +1,133 @@
+//! Property-based integration tests over the cross-crate invariants the
+//! Hermes design relies on.
+
+use hermes::prelude::*;
+use proptest::prelude::*;
+
+fn small_corpus(seed: u64, docs: usize, topics: usize) -> Corpus {
+    Corpus::generate(CorpusSpec::new(docs, 8, topics).with_seed(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Hierarchical search always returns exactly `k` hits (the corpus is
+    /// larger than `k`), sorted best first, with unique ids.
+    #[test]
+    fn search_output_is_well_formed(
+        seed in 0u64..50,
+        k in 1usize..8,
+        m in 1usize..4,
+    ) {
+        let corpus = small_corpus(seed, 300, 4);
+        let cfg = HermesConfig::new(4)
+            .with_clusters_to_search(m)
+            .with_k(k)
+            .with_seed(seed);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let out = store.hierarchical_search(corpus.embeddings().row(0)).unwrap();
+        prop_assert_eq!(out.hits.len(), k);
+        for w in out.hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        let mut ids: Vec<u64> = out.hits.iter().map(|n| n.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), k, "duplicate ids in result");
+    }
+
+    /// Searching more clusters never shrinks the scanned work, and the
+    /// ranked list is always a permutation of all clusters.
+    #[test]
+    fn deep_work_is_monotone_in_clusters_searched(seed in 0u64..30) {
+        let corpus = small_corpus(seed, 400, 5);
+        let q = corpus.embeddings().row(1).to_vec();
+        let mut prev = 0usize;
+        for m in 1..=5 {
+            let cfg = HermesConfig::new(5)
+                .with_clusters_to_search(m)
+                .with_seed(seed);
+            let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+            let out = store.hierarchical_search(&q).unwrap();
+            prop_assert!(out.deep_cost.scanned_codes >= prev || m == 1);
+            prev = out.deep_cost.scanned_codes;
+            let mut ranked = out.ranked_clusters.clone();
+            ranked.sort_unstable();
+            prop_assert_eq!(ranked, (0..5).collect::<Vec<_>>());
+        }
+    }
+
+    /// Cluster sizes always partition the corpus.
+    #[test]
+    fn split_partitions_the_corpus(seed in 0u64..30, c in 2usize..8) {
+        let corpus = small_corpus(seed, 350, 4);
+        let cfg = HermesConfig::new(c)
+            .with_clusters_to_search(1)
+            .with_seed(seed);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        prop_assert_eq!(store.cluster_sizes().iter().sum::<usize>(), 350);
+    }
+
+    /// The retrieval latency model is monotone in every argument.
+    #[test]
+    fn latency_model_is_monotone(
+        tokens in 1_000_000u64..1_000_000_000,
+        batch in 1usize..256,
+        nprobe in 1usize..128,
+    ) {
+        let m = RetrievalModel::default();
+        let base = m.batch_latency(tokens, batch, nprobe);
+        prop_assert!(m.batch_latency(tokens * 2, batch, nprobe) > base);
+        prop_assert!(m.batch_latency(tokens, batch + 8, nprobe) > base);
+        prop_assert!(m.batch_latency(tokens, batch, nprobe + 8) > base);
+        prop_assert!(base > 0.0);
+    }
+
+    /// Simulated E2E latency always dominates TTFT, and energy is
+    /// positive and finite.
+    #[test]
+    fn sim_invariants_hold(
+        tokens_b in 1u64..2_000,
+        nodes in 1usize..16,
+        stride_pow in 2u32..7,
+    ) {
+        let sim = MultiNodeSim::new(Deployment::uniform(tokens_b * 1_000_000_000, nodes));
+        let serving = ServingConfig::paper_default().with_stride(1 << stride_pow);
+        let scheme = RetrievalScheme::Hermes {
+            clusters_to_search: 3.min(nodes),
+            sample_nprobe: 8,
+        };
+        for policy in [PipelinePolicy::baseline(), PipelinePolicy::combined()] {
+            let r = sim.run(&serving, scheme, policy, DvfsMode::Off);
+            prop_assert!(r.e2e_s >= r.ttft_s);
+            prop_assert!(r.total_joules() > 0.0);
+            prop_assert!(r.total_joules().is_finite());
+            prop_assert!(r.retrieval_qps > 0.0);
+        }
+    }
+
+    /// NDCG and recall stay in [0, 1] for arbitrary id lists.
+    #[test]
+    fn metrics_stay_in_unit_interval(
+        truth in proptest::collection::vec(0u64..50, 0..10),
+        got in proptest::collection::vec(0u64..50, 0..10),
+        k in 1usize..10,
+    ) {
+        let n = ndcg_at_k(&truth, &got, k);
+        let r = recall_at_k(&truth, &got, k);
+        prop_assert!((0.0..=1.0).contains(&n), "ndcg {}", n);
+        prop_assert!((0.0..=1.0).contains(&r), "recall {}", r);
+    }
+
+    /// Codec round-trips preserve dimensionality and stay finite.
+    #[test]
+    fn codec_round_trip_shape(seed in 0u64..20) {
+        let corpus = small_corpus(seed, 300, 3);
+        for spec in [CodecSpec::Flat, CodecSpec::Sq8, CodecSpec::Sq4, CodecSpec::Pq { m: 2 }] {
+            let codec = Codec::train(spec, corpus.embeddings(), seed);
+            let decoded = codec.decode(&codec.encode(corpus.embeddings().row(0)));
+            prop_assert_eq!(decoded.len(), 8);
+            prop_assert!(decoded.iter().all(|x| x.is_finite()));
+        }
+    }
+}

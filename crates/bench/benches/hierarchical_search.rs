@@ -1,12 +1,13 @@
-//! Criterion benchmarks comparing the retrieval strategies end to end:
-//! monolithic IVF, naive all-cluster fan-out, and Hermes hierarchical
-//! search at different deep-cluster counts.
+//! Benchmarks comparing the retrieval strategies end to end: monolithic
+//! IVF, naive all-cluster fan-out, and Hermes hierarchical search at
+//! different deep-cluster counts. Runs on the `hermes-testkit`
+//! wall-clock runner (`cargo bench --bench hierarchical_search`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hermes_core::{ClusteredStore, HermesConfig};
 use hermes_datagen::{Corpus, CorpusSpec, QuerySet, QuerySpec};
 use hermes_index::{IvfIndex, SearchParams, VectorIndex};
 use hermes_quant::CodecSpec;
+use hermes_testkit::bench::Runner;
 
 fn setup() -> (Corpus, QuerySet) {
     let corpus = Corpus::generate(CorpusSpec::new(20_000, 32, 10).with_seed(17));
@@ -14,61 +15,42 @@ fn setup() -> (Corpus, QuerySet) {
     (corpus, queries)
 }
 
-fn bench_monolithic(c: &mut Criterion) {
+fn main() {
+    let mut runner = Runner::from_args("hierarchical_search");
     let (corpus, queries) = setup();
+    let qs = queries.to_vecs();
+
     let index = IvfIndex::builder()
         .codec(CodecSpec::Sq8)
         .seed(19)
         .build(corpus.embeddings())
         .expect("build");
     let params = SearchParams::new().with_nprobe(128);
-    let qs = queries.to_vecs();
-    c.bench_function("search/monolithic_ivf_20k", |bench| {
-        bench.iter(|| {
-            for q in &qs {
-                std::hint::black_box(index.search(q, 5, &params).expect("search"));
-            }
-        })
+    runner.bench("search/monolithic_ivf_20k", || {
+        for q in &qs {
+            std::hint::black_box(index.search(q, 5, &params).expect("search"));
+        }
     });
-}
 
-fn bench_hermes_by_clusters(c: &mut Criterion) {
-    let (corpus, queries) = setup();
-    let qs = queries.to_vecs();
-    let mut group = c.benchmark_group("search/hermes_20k");
     for m in [1usize, 3, 10] {
         let cfg = HermesConfig::new(10)
             .with_clusters_to_search(m)
             .with_seed(19);
         let store = ClusteredStore::build(corpus.embeddings(), &cfg).expect("build");
-        group.bench_with_input(BenchmarkId::new("deep_clusters", m), &m, |bench, _| {
-            bench.iter(|| {
-                for q in &qs {
-                    std::hint::black_box(store.hierarchical_search(q).expect("search"));
-                }
-            })
+        runner.bench(&format!("search/hermes_20k/deep_clusters/{m}"), || {
+            for q in &qs {
+                std::hint::black_box(store.hierarchical_search(q).expect("search"));
+            }
         });
     }
-    group.finish();
-}
 
-fn bench_naive_fanout(c: &mut Criterion) {
-    let (corpus, queries) = setup();
-    let qs = queries.to_vecs();
     let cfg = HermesConfig::new(10).with_clusters_to_search(3).with_seed(19);
     let store = ClusteredStore::build(corpus.embeddings(), &cfg).expect("build");
-    c.bench_function("search/naive_all_clusters_20k", |bench| {
-        bench.iter(|| {
-            for q in &qs {
-                std::hint::black_box(store.search_all_clusters(q).expect("search"));
-            }
-        })
+    runner.bench("search/naive_all_clusters_20k", || {
+        for q in &qs {
+            std::hint::black_box(store.search_all_clusters(q).expect("search"));
+        }
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_monolithic, bench_hermes_by_clusters, bench_naive_fanout
+    runner.finish();
 }
-criterion_main!(benches);

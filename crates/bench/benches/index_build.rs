@@ -1,65 +1,52 @@
-//! Criterion benchmarks for index construction: IVF vs HNSW build cost
-//! and the K-means seed sweep.
+//! Benchmarks for index construction: IVF vs HNSW build cost and the
+//! K-means seed sweep. Runs on the `hermes-testkit` wall-clock runner
+//! (`cargo bench --bench index_build`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hermes_index::{HnswIndex, IvfIndex};
 use hermes_kmeans::{KMeansConfig, SeedSweep};
 use hermes_math::rng::seeded_rng;
 use hermes_math::{Mat, Metric};
 use hermes_quant::CodecSpec;
-use rand::Rng;
+use hermes_testkit::bench::Runner;
 
 fn random_mat(n: usize, dim: usize, seed: u64) -> Mat {
     let mut rng = seeded_rng(seed);
     Mat::from_rows(
         &(0..n)
-            .map(|_| (0..dim).map(|_| rng.gen::<f32>()).collect::<Vec<f32>>())
+            .map(|_| (0..dim).map(|_| rng.next_f32()).collect::<Vec<f32>>())
             .collect::<Vec<_>>(),
     )
 }
 
-fn bench_ivf_build(c: &mut Criterion) {
+fn main() {
+    let mut runner = Runner::from_args("index_build");
+
     let data = random_mat(5_000, 48, 1);
-    c.bench_function("build/ivf_sq8_5k_docs", |bench| {
-        bench.iter(|| {
-            IvfIndex::builder()
-                .nlist(64)
-                .codec(CodecSpec::Sq8)
-                .metric(Metric::InnerProduct)
-                .build(std::hint::black_box(&data))
-                .expect("build")
-        })
+    runner.bench("build/ivf_sq8_5k_docs", || {
+        IvfIndex::builder()
+            .nlist(64)
+            .codec(CodecSpec::Sq8)
+            .metric(Metric::InnerProduct)
+            .build(std::hint::black_box(&data))
+            .expect("build")
     });
-}
 
-fn bench_hnsw_build(c: &mut Criterion) {
     let data = random_mat(2_000, 48, 2);
-    c.bench_function("build/hnsw_2k_docs", |bench| {
-        bench.iter(|| {
-            HnswIndex::builder()
-                .m(16)
-                .ef_construction(64)
-                .metric(Metric::InnerProduct)
-                .build(std::hint::black_box(&data))
-                .expect("build")
-        })
+    runner.bench("build/hnsw_2k_docs", || {
+        HnswIndex::builder()
+            .m(16)
+            .ef_construction(64)
+            .metric(Metric::InnerProduct)
+            .build(std::hint::black_box(&data))
+            .expect("build")
     });
-}
 
-fn bench_seed_sweep(c: &mut Criterion) {
     let data = random_mat(10_000, 32, 3);
-    c.bench_function("build/kmeans_seed_sweep_2pct", |bench| {
-        bench.iter(|| {
-            SeedSweep::new(KMeansConfig::new(10), 4)
-                .with_subsample(0.02, 9)
-                .run(std::hint::black_box(&data))
-        })
+    runner.bench("build/kmeans_seed_sweep_2pct", || {
+        SeedSweep::new(KMeansConfig::new(10), 4)
+            .with_subsample(0.02, 9)
+            .run(std::hint::black_box(&data))
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_ivf_build, bench_hnsw_build, bench_seed_sweep
+    runner.finish();
 }
-criterion_main!(benches);

@@ -1,76 +1,67 @@
-//! Criterion micro-benchmarks for the hot search kernels: distance
-//! computation, top-k selection and asymmetric code scoring.
+//! Micro-benchmarks for the hot search kernels: distance computation,
+//! top-k selection and asymmetric code scoring. Runs on the
+//! `hermes-testkit` wall-clock runner (`cargo bench --bench search_kernels`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hermes_math::rng::seeded_rng;
 use hermes_math::{distance, Mat, Metric, TopK};
 use hermes_quant::{Codec, CodecSpec};
-use rand::Rng;
+use hermes_testkit::bench::Runner;
 
 fn random_mat(n: usize, dim: usize, seed: u64) -> Mat {
     let mut rng = seeded_rng(seed);
     Mat::from_rows(
         &(0..n)
-            .map(|_| (0..dim).map(|_| rng.gen::<f32>()).collect::<Vec<f32>>())
+            .map(|_| (0..dim).map(|_| rng.next_f32()).collect::<Vec<f32>>())
             .collect::<Vec<_>>(),
     )
 }
 
-fn bench_distances(c: &mut Criterion) {
-    let mut group = c.benchmark_group("distance");
+fn bench_distances(runner: &mut Runner) {
     for dim in [64usize, 768] {
         let data = random_mat(2, dim, 1);
         let (a, b) = (data.row(0).to_vec(), data.row(1).to_vec());
-        group.bench_with_input(BenchmarkId::new("l2_sq", dim), &dim, |bench, _| {
-            bench.iter(|| distance::l2_sq(std::hint::black_box(&a), std::hint::black_box(&b)))
+        runner.bench(&format!("distance/l2_sq/{dim}"), || {
+            distance::l2_sq(std::hint::black_box(&a), std::hint::black_box(&b))
         });
-        group.bench_with_input(BenchmarkId::new("inner_product", dim), &dim, |bench, _| {
-            bench.iter(|| {
-                distance::inner_product(std::hint::black_box(&a), std::hint::black_box(&b))
-            })
+        runner.bench(&format!("distance/inner_product/{dim}"), || {
+            distance::inner_product(std::hint::black_box(&a), std::hint::black_box(&b))
         });
     }
-    group.finish();
 }
 
-fn bench_topk(c: &mut Criterion) {
+fn bench_topk(runner: &mut Runner) {
     let mut rng = seeded_rng(7);
-    let scores: Vec<f32> = (0..100_000).map(|_| rng.gen()).collect();
-    c.bench_function("topk/100k_candidates_k10", |bench| {
-        bench.iter(|| {
-            let mut top = TopK::new(10);
-            for (i, &s) in scores.iter().enumerate() {
-                top.push(i as u64, s);
-            }
-            top.into_sorted_vec()
-        })
+    let scores: Vec<f32> = (0..100_000).map(|_| rng.next_f32()).collect();
+    runner.bench("topk/100k_candidates_k10", || {
+        let mut top = TopK::new(10);
+        for (i, &s) in scores.iter().enumerate() {
+            top.push(i as u64, s);
+        }
+        top.into_sorted_vec()
     });
 }
 
-fn bench_codec_scoring(c: &mut Criterion) {
+fn bench_codec_scoring(runner: &mut Runner) {
     let data = random_mat(4096, 96, 3);
     let query = data.row(0).to_vec();
-    let mut group = c.benchmark_group("codec_scan_4096x96");
     for spec in [CodecSpec::Flat, CodecSpec::Sq8, CodecSpec::Pq { m: 24 }] {
         let codec = Codec::train(spec, &data, 5);
-        let codes: Vec<bytes::Bytes> = data.iter_rows().map(|r| codec.encode(r)).collect();
-        group.bench_function(spec.label(), |bench| {
-            bench.iter(|| {
-                let scorer = codec.query_scorer(&query, Metric::InnerProduct);
-                let mut acc = 0.0f32;
-                for code in &codes {
-                    acc += scorer.score(code);
-                }
-                acc
-            })
+        let codes: Vec<Vec<u8>> = data.iter_rows().map(|r| codec.encode(r)).collect();
+        runner.bench(&format!("codec_scan_4096x96/{}", spec.label()), || {
+            let scorer = codec.query_scorer(&query, Metric::InnerProduct);
+            let mut acc = 0.0f32;
+            for code in &codes {
+                acc += scorer.score(code);
+            }
+            acc
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_distances, bench_topk, bench_codec_scoring
+fn main() {
+    let mut runner = Runner::from_args("search_kernels");
+    bench_distances(&mut runner);
+    bench_topk(&mut runner);
+    bench_codec_scoring(&mut runner);
+    runner.finish();
 }
-criterion_main!(benches);

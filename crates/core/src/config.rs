@@ -2,10 +2,9 @@
 
 use hermes_math::Metric;
 use hermes_quant::CodecSpec;
-use serde::{Deserialize, Serialize};
 
 /// How the datastore is split into per-node clusters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SplitStrategy {
     /// K-means on document embeddings with a multi-seed imbalance sweep —
     /// the Hermes splitting procedure (Section 4.1). The fields control
@@ -34,7 +33,7 @@ impl Default for SplitStrategy {
 }
 
 /// How clusters are ranked for deep search.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Routing {
     /// Document sampling: probe each cluster's index cheaply and rank by
     /// the best retrieved document — the Hermes routing (Section 4.2).
@@ -60,7 +59,7 @@ pub enum Routing {
 /// assert_eq!(cfg.clusters_to_search, 3);
 /// cfg.validate().unwrap();
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HermesConfig {
     /// Number of search indices the datastore is split into (one per
     /// node).

@@ -121,7 +121,7 @@ fn decode_config(r: &mut Reader<'_>) -> Result<HermesConfig, WireError> {
 impl ClusteredStore {
     /// Serializes the full store: configuration, split centroids and every
     /// shard index.
-    pub fn to_bytes(&self) -> bytes::Bytes {
+    pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.header(MAGIC, VERSION);
         encode_config(&mut w, self.config());

@@ -3,7 +3,6 @@
 
 use hermes_index::{SearchParams, VectorIndex};
 use hermes_math::{topk::merge_topk, Metric, Neighbor};
-use serde::{Deserialize, Serialize};
 
 use crate::config::Routing;
 use crate::store::ClusteredStore;
@@ -11,7 +10,7 @@ use crate::HermesError;
 
 /// Work performed by one search phase, in scanned codes — the quantity
 /// the performance model converts to latency and joules.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SearchPhaseCost {
     /// Vector codes scored during this phase.
     pub scanned_codes: usize,
@@ -150,11 +149,11 @@ impl ClusteredStore {
         }
         let chunk = queries.len().div_ceil(threads);
         let mut partials: Vec<Result<Vec<SearchOutcome>, HermesError>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = queries
                 .chunks(chunk)
                 .map(|qs| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         qs.iter()
                             .map(|q| self.hierarchical_search(q))
                             .collect::<Result<Vec<_>, _>>()
@@ -164,8 +163,7 @@ impl ClusteredStore {
             for h in handles {
                 partials.push(h.join().expect("search worker panicked"));
             }
-        })
-        .expect("thread scope failed");
+        });
         let mut out = Vec::with_capacity(queries.len());
         for p in partials {
             out.extend(p?);

@@ -5,10 +5,9 @@
 //! chunk text is irrelevant to every measured quantity, so chunks are
 //! synthesized deterministically from the id.
 
-use serde::{Deserialize, Serialize};
 
 /// A retrieved document chunk.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Chunk {
     /// Global document id.
     pub id: u64,
@@ -30,7 +29,7 @@ pub struct Chunk {
 /// assert_eq!(chunk.tokens, 100);
 /// assert_eq!(store.chunk(42), chunk); // deterministic
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChunkStore {
     chunk_tokens: u32,
 }

@@ -4,13 +4,11 @@
 use hermes_math::distance::normalize;
 use hermes_math::rng::{derive_seed, seeded_rng};
 use hermes_math::Mat;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::zipf::ZipfSampler;
 
 /// Parameters of the Gaussian topic-mixture corpus.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CorpusSpec {
     /// Number of document embeddings to generate.
     pub num_docs: usize,
@@ -171,8 +169,8 @@ impl Corpus {
 
 /// Standard normal via Box–Muller.
 pub(crate) fn gaussian(rng: &mut hermes_math::rng::SeededRng) -> f32 {
-    let u1: f32 = rng.gen::<f32>().max(1e-7);
-    let u2: f32 = rng.gen();
+    let u1: f32 = rng.next_f32().max(1e-7);
+    let u2: f32 = rng.next_f32();
     (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
 }
 

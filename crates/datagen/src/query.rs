@@ -3,13 +3,12 @@
 use hermes_math::distance::normalize;
 use hermes_math::rng::{derive_seed, seeded_rng};
 use hermes_math::Mat;
-use serde::{Deserialize, Serialize};
 
 use crate::corpus::{gaussian, Corpus};
 use crate::zipf::ZipfSampler;
 
 /// Parameters of a synthetic query workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QuerySpec {
     /// Number of queries.
     pub num_queries: usize,
@@ -79,8 +78,7 @@ impl QuerySet {
         // corpus so workload shape and data shape decouple.
         let mut perm: Vec<usize> = (0..num_topics).collect();
         {
-            use rand::seq::SliceRandom;
-            perm.shuffle(&mut seeded_rng(derive_seed(spec.seed, 10)));
+            seeded_rng(derive_seed(spec.seed, 10)).shuffle(&mut perm);
         }
 
         let mut rng = seeded_rng(derive_seed(spec.seed, 11));

@@ -1,7 +1,6 @@
 //! Token-scale accounting: maps datastore sizes in tokens (the unit the
 //! paper reports: 100M … 1T) to chunk counts and index bytes.
 
-use serde::{Deserialize, Serialize};
 
 /// Describes a datastore by its token count, chunking and embedding width.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// let gb = ds.index_bytes_sq8() as f64 / 1e9;
 /// assert!(gb > 70.0 && gb < 90.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DatastoreScale {
     /// Total datastore size in tokens.
     pub tokens: u64,

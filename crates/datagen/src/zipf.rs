@@ -1,8 +1,6 @@
 //! Zipf-distributed sampling for skewed topic popularity.
 
 use hermes_math::rng::SeededRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Samples ranks `0..n` with probability `p(r) ∝ 1 / (r + 1)^s`.
 ///
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// let r = zipf.sample(&mut rng);
 /// assert!(r < 10);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ZipfSampler {
     cdf: Vec<f64>,
 }
@@ -73,7 +71,7 @@ impl ZipfSampler {
 
     /// Draws one rank.
     pub fn sample(&self, rng: &mut SeededRng) -> usize {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.next_f64();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
 }

@@ -11,7 +11,6 @@ use std::collections::BinaryHeap;
 
 use hermes_math::rng::seeded_rng;
 use hermes_math::{Metric, Neighbor, TopK};
-use rand::Rng;
 
 use crate::half::{f16_bits_to_f32, f32_to_f16_bits};
 use crate::{IndexError, SearchParams, VectorIndex};
@@ -215,7 +214,7 @@ impl HnswIndex {
 
     fn draw_level(&mut self) -> usize {
         let ml = 1.0 / (self.m as f64).ln();
-        let u: f64 = self.rng_state.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u: f64 = self.rng_state.next_f64().max(f64::MIN_POSITIVE);
         (-u.ln() * ml).floor() as usize
     }
 
@@ -430,7 +429,7 @@ mod tests {
         let mut rng = seeded_rng(seed);
         Mat::from_rows(
             &(0..n)
-                .map(|_| (0..dim).map(|_| rng.gen::<f32>()).collect::<Vec<f32>>())
+                .map(|_| (0..dim).map(|_| rng.next_f32()).collect::<Vec<f32>>())
                 .collect::<Vec<_>>(),
         )
     }

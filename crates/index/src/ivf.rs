@@ -6,7 +6,6 @@
 //! scanned, trading accuracy for latency. Vectors inside lists are stored
 //! through a [`Codec`] (the paper uses SQ8).
 
-use bytes::BytesMut;
 use hermes_kmeans::{KMeans, KMeansConfig};
 use hermes_math::{Mat, Metric, Neighbor, TopK};
 use hermes_quant::{Codec, CodecSpec};
@@ -180,7 +179,7 @@ impl IvfBuilder {
         };
 
         let mut lists = vec![InvertedList::default(); coarse.num_clusters()];
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         for (row, &id) in data.iter_rows().zip(&ids) {
             let (list, _) = coarse.assign(row);
             buf.clear();
@@ -258,7 +257,7 @@ impl IvfIndex {
             });
         }
         let (list, _) = self.coarse.assign(v);
-        let mut buf = BytesMut::with_capacity(self.codec.code_size());
+        let mut buf = Vec::with_capacity(self.codec.code_size());
         if self.residual {
             let res = hermes_math::distance::sub(v, self.coarse.centroids().row(list));
             self.codec.encode_into(&res, &mut buf);
@@ -279,7 +278,7 @@ impl IvfIndex {
     /// Serializes the index (coarse centroids, codec, inverted lists) to
     /// the workspace wire format — the offline-build → online-serving
     /// handoff of the paper's Appendix A.5.
-    pub fn to_bytes(&self) -> bytes::Bytes {
+    pub fn to_bytes(&self) -> Vec<u8> {
         use hermes_math::wire::{WireEncode, Writer};
         let mut w = Writer::new();
         w.header("HIVF", 1);
@@ -491,17 +490,16 @@ mod tests {
     use super::*;
     use crate::FlatIndex;
     use hermes_math::rng::seeded_rng;
-    use rand::Rng;
 
     fn clustered_data(n: usize, dim: usize, centers: usize, seed: u64) -> Mat {
         let mut rng = seeded_rng(seed);
         let centroids: Vec<Vec<f32>> = (0..centers)
-            .map(|_| (0..dim).map(|_| rng.gen::<f32>() * 10.0).collect())
+            .map(|_| (0..dim).map(|_| rng.next_f32() * 10.0).collect())
             .collect();
         let rows: Vec<Vec<f32>> = (0..n)
             .map(|i| {
                 let c = &centroids[i % centers];
-                c.iter().map(|&x| x + rng.gen::<f32>() * 0.5).collect()
+                c.iter().map(|&x| x + rng.next_f32() * 0.5).collect()
             })
             .collect();
         Mat::from_rows(&rows)

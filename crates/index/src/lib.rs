@@ -170,11 +170,11 @@ pub trait VectorIndex: Send + Sync {
         }
         let chunk = queries.len().div_ceil(threads);
         let mut out: Vec<Result<Vec<Vec<Neighbor>>, IndexError>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = queries
                 .chunks(chunk)
                 .map(|qs| {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         qs.iter()
                             .map(|q| self.search(q, k, params))
                             .collect::<Result<Vec<_>, _>>()
@@ -184,8 +184,7 @@ pub trait VectorIndex: Send + Sync {
             for h in handles {
                 out.push(h.join().expect("search worker panicked"));
             }
-        })
-        .expect("thread scope failed");
+        });
         let mut results = Vec::with_capacity(queries.len());
         for r in out {
             results.extend(r?);

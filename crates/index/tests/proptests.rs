@@ -1,4 +1,4 @@
-//! Property-based tests for the ANN indices.
+//! Property-based tests for the ANN indices, on `hermes-testkit`.
 
 use hermes_index::{
     f16_bits_to_f32, f32_to_f16_bits, FlatIndex, HnswIndex, IvfIndex, SearchParams, VectorIndex,
@@ -6,22 +6,23 @@ use hermes_index::{
 };
 use hermes_math::{Mat, Metric};
 use hermes_quant::CodecSpec;
-use proptest::prelude::*;
+use hermes_testkit::prelude::*;
 
-fn data_strategy(max_n: usize, dim: usize) -> impl Strategy<Value = Mat> {
-    proptest::collection::vec(
-        proptest::collection::vec(-100.0f32..100.0, dim),
-        2..max_n,
-    )
-    .prop_map(|rows| Mat::from_rows(&rows))
+/// Row data for a matrix with 2..max_n rows of width `dim`.
+fn data_strategy(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    vec_of(vec_of(f32_in(-100.0..100.0), dim..dim + 1), 2..max_n)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn cfg() -> Config {
+    Config::from_env().with_cases(24)
+}
 
-    /// IVF with a lossless codec and a full probe is exactly brute force.
-    #[test]
-    fn full_probe_flat_ivf_is_exact(data in data_strategy(60, 4), qi in 0usize..60) {
+/// IVF with a lossless codec and a full probe is exactly brute force.
+#[test]
+fn full_probe_flat_ivf_is_exact() {
+    let strat = tuple2(data_strategy(60, 4), usize_in(0..60));
+    check_with("full_probe_flat_ivf_is_exact", &cfg(), &strat, |(rows, qi)| {
+        let data = Mat::from_rows(rows);
         let qi = qi % data.rows();
         let ivf = IvfIndex::builder()
             .nlist(4)
@@ -37,97 +38,153 @@ proptest! {
             a.iter().map(|n| n.id).collect::<Vec<_>>(),
             b.iter().map(|n| n.id).collect::<Vec<_>>()
         );
-    }
+        Ok(())
+    });
+}
 
-    /// Residual and raw storage agree exactly under a lossless codec.
-    #[test]
-    fn residual_flat_equals_plain_flat(data in data_strategy(50, 3)) {
-        let build = |residual: bool| {
-            IvfIndex::builder()
-                .nlist(3)
+/// Residual and raw storage agree exactly under a lossless codec.
+#[test]
+fn residual_flat_equals_plain_flat() {
+    check_with(
+        "residual_flat_equals_plain_flat",
+        &cfg(),
+        &data_strategy(50, 3),
+        |rows| {
+            let data = Mat::from_rows(rows);
+            let build = |residual: bool| {
+                IvfIndex::builder()
+                    .nlist(3)
+                    .codec(CodecSpec::Flat)
+                    .metric(Metric::L2)
+                    .residual(residual)
+                    .build(&data)
+                    .unwrap()
+            };
+            let plain = build(false);
+            let res = build(true);
+            let params = SearchParams::new().with_nprobe(3);
+            let q = data.row(0);
+            prop_assert_eq!(
+                plain
+                    .search(q, 2, &params)
+                    .unwrap()
+                    .iter()
+                    .map(|n| n.id)
+                    .collect::<Vec<_>>(),
+                res.search(q, 2, &params)
+                    .unwrap()
+                    .iter()
+                    .map(|n| n.id)
+                    .collect::<Vec<_>>()
+            );
+            Ok(())
+        },
+    );
+}
+
+/// The searching-one's-own-vector property: a stored vector's top-1
+/// under L2 with full probe is itself (or an exact duplicate).
+#[test]
+fn self_query_returns_self_or_duplicate() {
+    let strat = tuple2(data_strategy(40, 4), usize_in(0..40));
+    check_with(
+        "self_query_returns_self_or_duplicate",
+        &cfg(),
+        &strat,
+        |(rows, qi)| {
+            let data = Mat::from_rows(rows);
+            let qi = qi % data.rows();
+            let ivf = IvfIndex::builder()
+                .nlist(2)
                 .codec(CodecSpec::Flat)
                 .metric(Metric::L2)
-                .residual(residual)
                 .build(&data)
-                .unwrap()
-        };
-        let plain = build(false);
-        let res = build(true);
-        let params = SearchParams::new().with_nprobe(3);
-        let q = data.row(0);
-        prop_assert_eq!(
-            plain.search(q, 2, &params).unwrap().iter().map(|n| n.id).collect::<Vec<_>>(),
-            res.search(q, 2, &params).unwrap().iter().map(|n| n.id).collect::<Vec<_>>()
-        );
-    }
+                .unwrap();
+            let hits = ivf
+                .search(data.row(qi), 1, &SearchParams::new().with_nprobe(2))
+                .unwrap();
+            let top = hits[0].id as usize;
+            prop_assert_eq!(data.row(top), data.row(qi));
+            Ok(())
+        },
+    );
+}
 
-    /// The searching-one's-own-vector property: a stored vector's top-1
-    /// under L2 with full probe is itself (or an exact duplicate).
-    #[test]
-    fn self_query_returns_self_or_duplicate(data in data_strategy(40, 4), qi in 0usize..40) {
-        let qi = qi % data.rows();
-        let ivf = IvfIndex::builder()
-            .nlist(2)
-            .codec(CodecSpec::Flat)
-            .metric(Metric::L2)
-            .build(&data)
-            .unwrap();
-        let hits = ivf
-            .search(data.row(qi), 1, &SearchParams::new().with_nprobe(2))
-            .unwrap();
-        let top = hits[0].id as usize;
-        prop_assert_eq!(data.row(top), data.row(qi));
-    }
+/// Persistence round-trips preserve every search result.
+#[test]
+fn ivf_persistence_is_lossless() {
+    check_with(
+        "ivf_persistence_is_lossless",
+        &cfg(),
+        &data_strategy(40, 4),
+        |rows| {
+            let data = Mat::from_rows(rows);
+            let ivf = IvfIndex::builder()
+                .nlist(3)
+                .codec(CodecSpec::Sq8)
+                .build(&data)
+                .unwrap();
+            let loaded = IvfIndex::from_bytes(&ivf.to_bytes()).unwrap();
+            let params = SearchParams::new().with_nprobe(3);
+            for qi in 0..data.rows().min(5) {
+                prop_assert_eq!(
+                    ivf.search(data.row(qi), 3, &params).unwrap(),
+                    loaded.search(data.row(qi), 3, &params).unwrap()
+                );
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Persistence round-trips preserve every search result.
-    #[test]
-    fn ivf_persistence_is_lossless(data in data_strategy(40, 4)) {
-        let ivf = IvfIndex::builder()
-            .nlist(3)
-            .codec(CodecSpec::Sq8)
-            .build(&data)
-            .unwrap();
-        let loaded = IvfIndex::from_bytes(&ivf.to_bytes()).unwrap();
-        let params = SearchParams::new().with_nprobe(3);
-        for qi in 0..data.rows().min(5) {
-            prop_assert_eq!(
-                ivf.search(data.row(qi), 3, &params).unwrap(),
-                loaded.search(data.row(qi), 3, &params).unwrap()
-            );
-        }
-    }
+/// f16 round trip keeps relative error within half-precision bounds
+/// for normal-range values.
+#[test]
+fn f16_round_trip_error_bound() {
+    check_with(
+        "f16_round_trip_error_bound",
+        &cfg(),
+        &f32_in(-60000.0..60000.0),
+        |&x| {
+            let rt = f16_bits_to_f32(f32_to_f16_bits(x));
+            if x.abs() > 1e-3 {
+                prop_assert!(((rt - x) / x).abs() < 1e-3, "{x} -> {rt}");
+            } else {
+                prop_assert!((rt - x).abs() < 1e-3);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// f16 round trip keeps relative error within half-precision bounds
-    /// for normal-range values.
-    #[test]
-    fn f16_round_trip_error_bound(x in -60000.0f32..60000.0) {
-        let rt = f16_bits_to_f32(f32_to_f16_bits(x));
-        if x.abs() > 1e-3 {
-            prop_assert!(((rt - x) / x).abs() < 1e-3, "{x} -> {rt}");
-        } else {
-            prop_assert!((rt - x).abs() < 1e-3);
-        }
-    }
-
-    /// HNSW always returns unique ids sorted best-first.
-    #[test]
-    fn hnsw_results_are_unique_and_sorted(data in data_strategy(50, 4), k in 1usize..10) {
-        let index = HnswIndex::builder()
-            .m(4)
-            .metric(Metric::L2)
-            .storage(VectorStorage::F32)
-            .build(&data)
-            .unwrap();
-        let hits = index
-            .search(data.row(0), k, &SearchParams::new().with_ef_search(32))
-            .unwrap();
-        prop_assert!(hits.len() <= k);
-        for w in hits.windows(2) {
-            prop_assert!(w[0].score >= w[1].score);
-        }
-        let mut ids: Vec<u64> = hits.iter().map(|n| n.id).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        prop_assert_eq!(ids.len(), hits.len());
-    }
+/// HNSW always returns unique ids sorted best-first.
+#[test]
+fn hnsw_results_are_unique_and_sorted() {
+    let strat = tuple2(data_strategy(50, 4), usize_in(1..10));
+    check_with(
+        "hnsw_results_are_unique_and_sorted",
+        &cfg(),
+        &strat,
+        |(rows, k)| {
+            let data = Mat::from_rows(rows);
+            let index = HnswIndex::builder()
+                .m(4)
+                .metric(Metric::L2)
+                .storage(VectorStorage::F32)
+                .build(&data)
+                .unwrap();
+            let hits = index
+                .search(data.row(0), *k, &SearchParams::new().with_ef_search(32))
+                .unwrap();
+            prop_assert!(hits.len() <= *k);
+            for w in hits.windows(2) {
+                prop_assert!(w[0].score >= w[1].score);
+            }
+            let mut ids: Vec<u64> = hits.iter().map(|n| n.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), hits.len());
+            Ok(())
+        },
+    );
 }

@@ -30,15 +30,12 @@
 //! ```
 
 use hermes_math::distance::l2_sq;
-use hermes_math::rng::{derive_seed, seeded_rng};
+use hermes_math::rng::{derive_seed, seeded_rng, SeededRng};
 use hermes_math::stats::imbalance_ratio;
 use hermes_math::Mat;
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Centroid initialization strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Init {
     /// Pick `k` distinct input rows uniformly at random — FAISS's default
     /// and what the paper's imbalance discussion assumes.
@@ -49,7 +46,7 @@ pub enum Init {
 }
 
 /// Training configuration for [`KMeans::train`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KMeansConfig {
     /// Number of clusters `k`.
     pub k: usize,
@@ -96,7 +93,7 @@ impl KMeansConfig {
 }
 
 /// A trained K-means model: centroid table plus training diagnostics.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KMeans {
     centroids: Mat,
     assignments: Vec<u32>,
@@ -301,14 +298,14 @@ impl hermes_math::wire::WireDecode for KMeans {
     }
 }
 
-fn init_random(data: &Mat, k: usize, rng: &mut impl Rng) -> Mat {
+fn init_random(data: &Mat, k: usize, rng: &mut SeededRng) -> Mat {
     let mut idx: Vec<usize> = (0..data.rows()).collect();
-    idx.shuffle(rng);
+    rng.shuffle(&mut idx);
     let rows: Vec<Vec<f32>> = idx[..k].iter().map(|&i| data.row(i).to_vec()).collect();
     Mat::from_rows(&rows)
 }
 
-fn init_plus_plus(data: &Mat, k: usize, rng: &mut impl Rng) -> Mat {
+fn init_plus_plus(data: &Mat, k: usize, rng: &mut SeededRng) -> Mat {
     let n = data.rows();
     let first = rng.gen_range(0..n);
     let mut chosen = vec![first];
@@ -322,7 +319,7 @@ fn init_plus_plus(data: &Mat, k: usize, rng: &mut impl Rng) -> Mat {
             // All remaining points coincide with a centroid; pick uniformly.
             rng.gen_range(0..n)
         } else {
-            let mut target = rng.gen::<f64>() * total;
+            let mut target = rng.next_f64() * total;
             let mut pick = n - 1;
             for (i, &d) in d2.iter().enumerate() {
                 target -= d as f64;
@@ -378,13 +375,13 @@ pub fn subsample(data: &Mat, fraction: f64, seed: u64) -> Mat {
     let n = data.rows();
     let take = ((n as f64 * fraction.clamp(0.0, 1.0)).round() as usize).clamp(1, n);
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.shuffle(&mut seeded_rng(seed));
+    seeded_rng(seed).shuffle(&mut idx);
     let rows: Vec<Vec<f32>> = idx[..take].iter().map(|&i| data.row(i).to_vec()).collect();
     Mat::from_rows(&rows)
 }
 
 /// Per-seed outcome of an imbalance sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SeedOutcome {
     /// The K-means seed evaluated.
     pub seed: u64,
@@ -396,7 +393,7 @@ pub struct SeedOutcome {
 
 /// Result of [`SeedSweep::run`]: the winning seed plus the full trace for
 /// the ablation bench.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepResult {
     /// Seed with the lowest imbalance.
     pub best_seed: u64,
@@ -514,7 +511,6 @@ impl SeedSweep {
 mod tests {
     use super::*;
     use hermes_math::rng::seeded_rng;
-    use rand::Rng;
 
     fn blobs(n_per: usize, centers: &[[f32; 2]], seed: u64) -> Mat {
         let mut rng = seeded_rng(seed);
@@ -522,8 +518,8 @@ mod tests {
         for c in centers {
             for _ in 0..n_per {
                 rows.push(vec![
-                    c[0] + rng.gen::<f32>() * 0.2,
-                    c[1] + rng.gen::<f32>() * 0.2,
+                    c[0] + rng.next_f32() * 0.2,
+                    c[1] + rng.next_f32() * 0.2,
                 ]);
             }
         }
@@ -532,8 +528,11 @@ mod tests {
 
     #[test]
     fn recovers_well_separated_blobs() {
+        // Seed re-goldened for the in-repo ChaCha8 stream (see
+        // EXPERIMENTS.md): random init is degenerate on some seeds by
+        // design — that is exactly what the seed sweep exploits.
         let data = blobs(30, &[[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]], 3);
-        let model = KMeans::train(&data, &KMeansConfig::new(3).with_seed(5));
+        let model = KMeans::train(&data, &KMeansConfig::new(3).with_seed(4));
         assert_eq!(model.cluster_sizes().iter().sum::<usize>(), 90);
         // Each blob should land in a single cluster.
         for blob in 0..3 {

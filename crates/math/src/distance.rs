@@ -6,7 +6,6 @@
 //! orientation into one convention keeps every downstream heap, ranker and
 //! NDCG computation branch-free.
 
-use serde::{Deserialize, Serialize};
 
 /// The metric used to compare embedding vectors.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// let b = [0.0f32, 1.0];
 /// assert!(Metric::L2.similarity(&a, &b) < Metric::L2.similarity(&a, &a));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Metric {
     /// Euclidean distance; similarity is `-||a-b||^2`.
     L2,

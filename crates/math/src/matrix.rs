@@ -5,7 +5,6 @@
 //! needs dense storage with row views, matrix–vector products and a
 //! Gram-Schmidt orthonormalization (to build random rotations for OPQ).
 
-use serde::{Deserialize, Serialize};
 
 use crate::distance;
 
@@ -18,7 +17,7 @@ use crate::distance;
 /// let m = Mat::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
 /// assert_eq!(m.mat_vec(&[3.0, 4.0]), vec![3.0, 4.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mat {
     rows: usize,
     cols: usize,

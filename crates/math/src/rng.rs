@@ -4,12 +4,222 @@
 //! corpus, query traces, quantizer training) takes an explicit `u64` seed
 //! and derives per-subsystem streams with [`derive_seed`], so experiments
 //! replay bit-identically across runs and machines.
-
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+//!
+//! The generator is a from-scratch ChaCha8 keystream (no external crates;
+//! see the zero-dependency policy in DESIGN.md). The stream for a given
+//! seed is frozen by a regression test in `tests/determinism.rs` — if you
+//! change anything here, expect that test to fail loudly and re-golden it
+//! deliberately, noting the change in EXPERIMENTS.md.
 
 /// The deterministic RNG used throughout the workspace.
-pub type SeededRng = ChaCha8Rng;
+///
+/// A ChaCha8-based generator seeded from a single `u64`. The key is the
+/// SplitMix64 expansion of the seed, the nonce is zero and the 64-bit
+/// block counter starts at zero, giving a 2^70-byte period — far beyond
+/// anything the experiments draw.
+#[derive(Debug, Clone)]
+pub struct SeededRng {
+    /// ChaCha input block: constants, 8 key words, 64-bit counter, nonce.
+    state: [u32; 16],
+    /// Current output block.
+    block: [u32; 16],
+    /// Next unread word index in `block`; 16 means "refill needed".
+    word: usize,
+}
+
+const CHACHA_ROUNDS: usize = 8;
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl SeededRng {
+    /// Creates a generator from a bare seed (see [`seeded_rng`]).
+    pub fn new(seed: u64) -> Self {
+        // Expand the 64-bit seed into a 256-bit key with SplitMix64 so
+        // nearby seeds produce unrelated keys.
+        let mut key = [0u32; 8];
+        let mut s = seed;
+        for pair in key.chunks_mut(2) {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            pair[0] = z as u32;
+            pair[1] = (z >> 32) as u32;
+        }
+        let mut state = [0u32; 16];
+        // "expand 32-byte k", the standard ChaCha constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646E;
+        state[2] = 0x7962_2D32;
+        state[3] = 0x6B20_6574;
+        state[4..12].copy_from_slice(&key);
+        // state[12..14] = 64-bit block counter, state[14..16] = nonce.
+        SeededRng {
+            state,
+            block: [0u32; 16],
+            word: 16,
+        }
+    }
+
+    /// Runs the ChaCha8 block function and advances the counter.
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.word = 0;
+    }
+
+    /// Returns the next word of the keystream.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        if self.word >= 16 {
+            self.refill();
+        }
+        let v = self.block[self.word];
+        self.word += 1;
+        v
+    }
+
+    /// Returns the next 64 bits of the keystream (low word first).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from a half-open range.
+    ///
+    /// Supported range types: `usize`, `u32`, `u64`, `i64`, `f32`, `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T: UniformRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Fills `dest` with keystream bytes.
+    pub fn fill(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let word = self.next_u32().to_le_bytes();
+            rest.copy_from_slice(&word[..rest.len()]);
+        }
+    }
+
+    /// Fisher–Yates shuffle of a slice in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Uniformly chosen element, or `None` if the slice is empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.gen_range(0..xs.len())])
+        }
+    }
+}
+
+/// Scalar types [`SeededRng::gen_range`] can sample uniformly.
+pub trait UniformRange: Sized {
+    /// Draws a uniform sample from `range`.
+    fn sample(rng: &mut SeededRng, range: std::ops::Range<Self>) -> Self;
+}
+
+/// Maps a raw 64-bit draw into `[0, span)` by widening multiply.
+///
+/// Bias is at most `span / 2^64`, irrelevant at the spans used here.
+#[inline]
+fn bounded_u64(rng: &mut SeededRng, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl UniformRange for $ty {
+            #[inline]
+            fn sample(rng: &mut SeededRng, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as i128 - range.start as i128) as u64;
+                range.start.wrapping_add(bounded_u64(rng, span) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u32, u64, i64);
+
+impl UniformRange for f32 {
+    #[inline]
+    fn sample(rng: &mut SeededRng, range: std::ops::Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        range.start + rng.next_f32() * (range.end - range.start)
+    }
+}
+
+impl UniformRange for f64 {
+    #[inline]
+    fn sample(rng: &mut SeededRng, range: std::ops::Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        range.start + rng.next_f64() * (range.end - range.start)
+    }
+}
 
 /// Creates a [`SeededRng`] from a bare seed.
 ///
@@ -17,13 +227,12 @@ pub type SeededRng = ChaCha8Rng;
 ///
 /// ```
 /// use hermes_math::rng::seeded_rng;
-/// use rand::Rng;
 /// let mut a = seeded_rng(7);
 /// let mut b = seeded_rng(7);
-/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
 pub fn seeded_rng(seed: u64) -> SeededRng {
-    ChaCha8Rng::seed_from_u64(seed)
+    SeededRng::new(seed)
 }
 
 /// Derives an independent stream seed from a parent seed and a label.
@@ -43,14 +252,13 @@ pub fn derive_seed(seed: u64, stream: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_seed_same_stream() {
         let mut a = seeded_rng(42);
         let mut b = seeded_rng(42);
-        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
-        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
         assert_eq!(xs, ys);
     }
 
@@ -64,7 +272,89 @@ mod tests {
     fn derived_streams_are_statistically_distinct() {
         let mut a = seeded_rng(derive_seed(9, 0));
         let mut b = seeded_rng(derive_seed(9, 1));
-        let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
         assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = seeded_rng(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f32();
+            assert!((0.0..1.0).contains(&x), "f32 out of range: {x}");
+            let y = rng.next_f64();
+            assert!((0.0..1.0).contains(&y), "f64 out of range: {y}");
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = seeded_rng(4);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value_of_a_small_span() {
+        let mut rng = seeded_rng(5);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = seeded_rng(6);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(xs, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn choose_covers_the_slice_and_handles_empty() {
+        let mut rng = seeded_rng(7);
+        let xs = [10, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            let &v = rng.choose(&xs).unwrap();
+            seen[xs.iter().position(|&x| x == v).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(rng.choose::<i32>(&[]), None);
+    }
+
+    #[test]
+    fn fill_matches_word_stream() {
+        let mut a = seeded_rng(8);
+        let mut b = seeded_rng(8);
+        let mut buf = [0u8; 11];
+        a.fill(&mut buf);
+        let w0 = b.next_u32().to_le_bytes();
+        let w1 = b.next_u32().to_le_bytes();
+        let w2 = b.next_u32().to_le_bytes();
+        assert_eq!(&buf[..4], &w0);
+        assert_eq!(&buf[4..8], &w1);
+        assert_eq!(&buf[8..], &w2[..3]);
+    }
+
+    #[test]
+    fn counter_overflow_carries_into_high_word() {
+        let mut rng = seeded_rng(9);
+        rng.state[12] = u32::MAX;
+        rng.word = 16;
+        let _ = rng.next_u32();
+        assert_eq!(rng.state[12], 0);
+        assert_eq!(rng.state[13], 1);
     }
 }

@@ -1,6 +1,5 @@
 //! Summary statistics shared by the metrics and performance-model crates.
 
-use serde::{Deserialize, Serialize};
 
 /// Numerically stable single-pass mean/variance/min/max accumulator
 /// (Welford's algorithm).
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// }
 /// assert_eq!(s.mean(), 2.0);
 /// ```
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
@@ -104,7 +103,7 @@ impl OnlineStats {
 }
 
 /// Batch percentile summary of a sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Percentiles {
     /// Median.
     pub p50: f64,

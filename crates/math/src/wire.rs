@@ -4,8 +4,8 @@
 //! (Appendix A.5 steps 7 vs 8); persistence is what connects the two.
 //! The format is deliberately simple: length-prefixed primitives, no
 //! self-description, a magic header with a version byte per container.
+//! Buffers are plain `Vec<u8>` / `&[u8]` — no external byte crates.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crate::Mat;
 
 /// Errors produced while decoding a persisted index.
@@ -37,7 +37,7 @@ impl std::error::Error for WireError {}
 /// Sequential writer over a growable buffer.
 #[derive(Debug, Default)]
 pub struct Writer {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Writer {
@@ -52,54 +52,56 @@ impl Writer {
         for (dst, src) in tag.iter_mut().zip(magic.bytes()) {
             *dst = src;
         }
-        self.buf.put_slice(&tag);
-        self.buf.put_u8(version);
+        self.buf.extend_from_slice(&tag);
+        self.buf.push(version);
     }
 
     /// Writes a `u8`.
     pub fn u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Writes a `u32`.
     pub fn u32(&mut self, v: u32) {
-        self.buf.put_u32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes a `u64`.
     pub fn u64(&mut self, v: u64) {
-        self.buf.put_u64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes an `f32`.
     pub fn f32(&mut self, v: f32) {
-        self.buf.put_f32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes an `f64`.
     pub fn f64(&mut self, v: f64) {
-        self.buf.put_f64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Writes a length-prefixed byte slice.
     pub fn bytes(&mut self, v: &[u8]) {
         self.u64(v.len() as u64);
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
     }
 
     /// Writes a length-prefixed `f32` slice.
     pub fn f32s(&mut self, v: &[f32]) {
         self.u64(v.len() as u64);
+        self.buf.reserve(4 * v.len());
         for &x in v {
-            self.buf.put_f32_le(x);
+            self.buf.extend_from_slice(&x.to_le_bytes());
         }
     }
 
     /// Writes a length-prefixed `u64` slice.
     pub fn u64s(&mut self, v: &[u64]) {
         self.u64(v.len() as u64);
+        self.buf.reserve(8 * v.len());
         for &x in v {
-            self.buf.put_u64_le(x);
+            self.buf.extend_from_slice(&x.to_le_bytes());
         }
     }
 
@@ -107,14 +109,15 @@ impl Writer {
     pub fn mat(&mut self, m: &Mat) {
         self.u64(m.rows() as u64);
         self.u64(m.cols() as u64);
+        self.buf.reserve(4 * m.rows() * m.cols());
         for &x in m.as_slice() {
-            self.buf.put_f32_le(x);
+            self.buf.extend_from_slice(&x.to_le_bytes());
         }
     }
 
     /// Finishes and returns the encoded buffer.
-    pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
     }
 }
 
@@ -131,23 +134,29 @@ impl<'a> Reader<'a> {
     }
 
     fn need(&self, n: usize) -> Result<(), WireError> {
-        if self.buf.remaining() < n {
+        if self.buf.len() < n {
             Err(WireError::Truncated)
         } else {
             Ok(())
         }
     }
 
+    /// Consumes and returns the next `n` bytes; caller must `need` first.
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        head
+    }
+
     /// Checks a magic tag + version written by [`Writer::header`].
     pub fn header(&mut self, magic: &'static str, version: u8) -> Result<(), WireError> {
         self.need(9)?;
-        let mut tag = [0u8; 8];
-        self.buf.copy_to_slice(&mut tag);
+        let tag = self.take(8);
         let mut expected = [0u8; 8];
         for (dst, src) in expected.iter_mut().zip(magic.bytes()) {
             *dst = src;
         }
-        let v = self.buf.get_u8();
+        let v = self.take(1)[0];
         if tag != expected || v != version {
             return Err(WireError::BadHeader { expected: magic });
         }
@@ -157,37 +166,37 @@ impl<'a> Reader<'a> {
     /// Reads a `u8`.
     pub fn u8(&mut self) -> Result<u8, WireError> {
         self.need(1)?;
-        Ok(self.buf.get_u8())
+        Ok(self.take(1)[0])
     }
 
     /// Reads a `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
         self.need(4)?;
-        Ok(self.buf.get_u32_le())
+        Ok(u32::from_le_bytes(self.take(4).try_into().unwrap()))
     }
 
     /// Reads a `u64`.
     pub fn u64(&mut self) -> Result<u64, WireError> {
         self.need(8)?;
-        Ok(self.buf.get_u64_le())
+        Ok(u64::from_le_bytes(self.take(8).try_into().unwrap()))
     }
 
     /// Reads an `f32`.
     pub fn f32(&mut self) -> Result<f32, WireError> {
         self.need(4)?;
-        Ok(self.buf.get_f32_le())
+        Ok(f32::from_le_bytes(self.take(4).try_into().unwrap()))
     }
 
     /// Reads an `f64`.
     pub fn f64(&mut self) -> Result<f64, WireError> {
         self.need(8)?;
-        Ok(self.buf.get_f64_le())
+        Ok(f64::from_le_bytes(self.take(8).try_into().unwrap()))
     }
 
     fn len_prefix(&mut self, elem_size: usize) -> Result<usize, WireError> {
         let n = self.u64()? as usize;
         // Guard against hostile lengths before allocating.
-        if n.checked_mul(elem_size).is_none_or(|total| total > self.buf.remaining()) {
+        if n.checked_mul(elem_size).is_none_or(|total| total > self.buf.len()) {
             return Err(WireError::Corrupt(format!("length {n} exceeds buffer")));
         }
         Ok(n)
@@ -196,21 +205,27 @@ impl<'a> Reader<'a> {
     /// Reads a length-prefixed byte vector.
     pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
         let n = self.len_prefix(1)?;
-        let mut v = vec![0u8; n];
-        self.buf.copy_to_slice(&mut v);
-        Ok(v)
+        Ok(self.take(n).to_vec())
     }
 
     /// Reads a length-prefixed `f32` vector.
     pub fn f32s(&mut self) -> Result<Vec<f32>, WireError> {
         let n = self.len_prefix(4)?;
-        Ok((0..n).map(|_| self.buf.get_f32_le()).collect())
+        Ok(self
+            .take(4 * n)
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
     }
 
     /// Reads a length-prefixed `u64` vector.
     pub fn u64s(&mut self) -> Result<Vec<u64>, WireError> {
         let n = self.len_prefix(8)?;
-        Ok((0..n).map(|_| self.buf.get_u64_le()).collect())
+        Ok(self
+            .take(8 * n)
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect())
     }
 
     /// Reads a matrix written by [`Writer::mat`].
@@ -220,18 +235,22 @@ impl<'a> Reader<'a> {
         let total = rows
             .checked_mul(cols)
             .ok_or_else(|| WireError::Corrupt("matrix shape overflow".into()))?;
-        if total.checked_mul(4).is_none_or(|b| b > self.buf.remaining()) {
+        if total.checked_mul(4).is_none_or(|b| b > self.buf.len()) {
             return Err(WireError::Corrupt(format!(
                 "matrix {rows}x{cols} exceeds buffer"
             )));
         }
-        let data = (0..total).map(|_| self.buf.get_f32_le()).collect();
+        let data = self
+            .take(4 * total)
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
         Ok(Mat::from_flat(rows, cols, data))
     }
 
     /// Whether the whole buffer was consumed.
     pub fn is_exhausted(&self) -> bool {
-        !self.buf.has_remaining()
+        self.buf.is_empty()
     }
 }
 

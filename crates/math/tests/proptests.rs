@@ -1,22 +1,20 @@
-//! Property-based tests for the math substrate.
+//! Property-based tests for the math substrate, on `hermes-testkit`.
 
 use hermes_math::stats::{linear_fit, OnlineStats};
 use hermes_math::wire::{Reader, Writer};
 use hermes_math::{Mat, Metric, Neighbor, TopK};
-use proptest::prelude::*;
+use hermes_testkit::prelude::*;
 
 fn finite_f32() -> impl Strategy<Value = f32> {
-    (-1e6f32..1e6).prop_map(|x| x)
+    f32_in(-1e6..1e6)
 }
 
-proptest! {
-    /// TopK agrees with sort-then-truncate for any input.
-    #[test]
-    fn topk_equals_sort_truncate(
-        scores in proptest::collection::vec(finite_f32(), 1..200),
-        k in 1usize..20,
-    ) {
-        let mut top = TopK::new(k);
+/// TopK agrees with sort-then-truncate for any input.
+#[test]
+fn topk_equals_sort_truncate() {
+    let strat = tuple2(vec_of(finite_f32(), 1..200), usize_in(1..20));
+    check("topk_equals_sort_truncate", &strat, |(scores, k)| {
+        let mut top = TopK::new(*k);
         for (i, &s) in scores.iter().enumerate() {
             top.push(i as u64, s);
         }
@@ -28,116 +26,152 @@ proptest! {
             .map(|(i, &s)| Neighbor::new(i as u64, s))
             .collect();
         all.sort();
-        all.truncate(k);
+        all.truncate(*k);
         prop_assert_eq!(got, all);
-    }
+        Ok(())
+    });
+}
 
-    /// Similarity is symmetric for the symmetric metrics.
-    #[test]
-    fn l2_and_cosine_are_symmetric(
-        a in proptest::collection::vec(finite_f32(), 8),
-        b in proptest::collection::vec(finite_f32(), 8),
-    ) {
+/// Similarity is symmetric for the symmetric metrics.
+#[test]
+fn l2_and_cosine_are_symmetric() {
+    let strat = tuple2(vec_of(finite_f32(), 8..9), vec_of(finite_f32(), 8..9));
+    check("l2_and_cosine_are_symmetric", &strat, |(a, b)| {
         for metric in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
-            let ab = metric.similarity(&a, &b);
-            let ba = metric.similarity(&b, &a);
+            let ab = metric.similarity(a, b);
+            let ba = metric.similarity(b, a);
             prop_assert!((ab - ba).abs() <= 1e-3 * ab.abs().max(1.0), "{metric}");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Self-similarity under L2 is maximal.
-    #[test]
-    fn l2_self_similarity_dominates(
-        a in proptest::collection::vec(finite_f32(), 6),
-        b in proptest::collection::vec(finite_f32(), 6),
-    ) {
-        prop_assert!(Metric::L2.similarity(&a, &a) >= Metric::L2.similarity(&a, &b));
-    }
+/// Self-similarity under L2 is maximal.
+#[test]
+fn l2_self_similarity_dominates() {
+    let strat = tuple2(vec_of(finite_f32(), 6..7), vec_of(finite_f32(), 6..7));
+    check("l2_self_similarity_dominates", &strat, |(a, b)| {
+        prop_assert!(Metric::L2.similarity(a, a) >= Metric::L2.similarity(a, b));
+        Ok(())
+    });
+}
 
-    /// Rotation followed by transpose recovers the input for orthonormal
-    /// matrices.
-    #[test]
-    fn orthonormal_rotation_is_invertible(
-        seed_rows in proptest::collection::vec(
-            proptest::collection::vec(-1.0f32..1.0, 6), 6),
-        v in proptest::collection::vec(-10.0f32..10.0, 6),
-    ) {
-        let mut m = Mat::from_rows(&seed_rows);
-        m.orthonormalize_rows();
-        let back = m.transpose_vec(&m.mat_vec(&v));
-        for (x, y) in back.iter().zip(&v) {
-            // Gram-Schmidt on near-degenerate random rows loses a few
-            // bits; allow a relative single-precision tolerance.
-            prop_assert!((x - y).abs() < 1e-2 * y.abs().max(1.0), "{x} vs {y}");
-        }
-    }
+/// Rotation followed by transpose recovers the input for orthonormal
+/// matrices.
+#[test]
+fn orthonormal_rotation_is_invertible() {
+    let strat = tuple2(
+        vec_of(vec_of(f32_in(-1.0..1.0), 6..7), 6..7),
+        vec_of(f32_in(-10.0..10.0), 6..7),
+    );
+    // Near-degenerate rows found by the old proptest run; keep it pinned.
+    let regression = (
+        vec![
+            vec![-0.83440214, -0.3624748, 0.41711116, 0.75543004, -0.54768384, 0.47014242],
+            vec![0.0, -0.84116113, 0.72943574, 0.03454585, -0.5941334, 0.9393982],
+            vec![0.906539, 0.9324757, -0.19172081, 0.09651843, -0.6482588, 0.1287739],
+            vec![-0.23186162, -0.40684626, -0.12194871, 0.5677976, -0.03420545, 0.52390254],
+            vec![0.81454706, 0.7872395, 0.9897278, 0.8538393, -0.1400392, 0.07080147],
+            vec![-0.2554111, 0.14306785, 0.027532531, 0.22620943, -0.84322053, 0.33031172],
+        ],
+        vec![4.7791104, 0.0, 0.0, 0.0, 9.56704, 0.0],
+    );
+    check_with_regressions(
+        "orthonormal_rotation_is_invertible",
+        &Config::from_env(),
+        &strat,
+        &[regression],
+        |(seed_rows, v)| {
+            let mut m = Mat::from_rows(seed_rows);
+            m.orthonormalize_rows();
+            let back = m.transpose_vec(&m.mat_vec(v));
+            for (x, y) in back.iter().zip(v) {
+                // Gram-Schmidt on near-degenerate random rows loses a few
+                // bits; allow a relative single-precision tolerance.
+                prop_assert!((x - y).abs() < 1e-2 * y.abs().max(1.0), "{x} vs {y}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Wire round-trip is lossless for arbitrary payloads.
-    #[test]
-    fn wire_round_trips_arbitrary_payloads(
-        bytes in proptest::collection::vec(any::<u8>(), 0..64),
-        floats in proptest::collection::vec(finite_f32(), 0..32),
-        ids in proptest::collection::vec(any::<u64>(), 0..32),
-        x in any::<u64>(),
-    ) {
+/// Wire round-trip is lossless for arbitrary payloads.
+#[test]
+fn wire_round_trips_arbitrary_payloads() {
+    let strat = tuple3(
+        vec_of(u64_any(), 0..64),
+        tuple2(vec_of(finite_f32(), 0..32), vec_of(u64_any(), 0..32)),
+        u64_any(),
+    );
+    check(
+        "wire_round_trips_arbitrary_payloads",
+        &strat,
+        |(raw, (floats, ids), x)| {
+            let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+            let mut w = Writer::new();
+            w.header("PROP", 1);
+            w.u64(*x);
+            w.bytes(&bytes);
+            w.f32s(floats);
+            w.u64s(ids);
+            let buf = w.finish();
+            let mut r = Reader::new(&buf);
+            r.header("PROP", 1).unwrap();
+            prop_assert_eq!(r.u64().unwrap(), *x);
+            prop_assert_eq!(r.bytes().unwrap(), bytes);
+            prop_assert_eq!(&r.f32s().unwrap(), floats);
+            prop_assert_eq!(&r.u64s().unwrap(), ids);
+            prop_assert!(r.is_exhausted());
+            Ok(())
+        },
+    );
+}
+
+/// Truncating a valid wire buffer anywhere never panics — it errors.
+#[test]
+fn wire_truncation_never_panics() {
+    let strat = tuple2(vec_of(finite_f32(), 1..32), f64_in(0.0..1.0));
+    check("wire_truncation_never_panics", &strat, |(floats, cut_frac)| {
         let mut w = Writer::new();
-        w.header("PROP", 1);
-        w.u64(x);
-        w.bytes(&bytes);
-        w.f32s(&floats);
-        w.u64s(&ids);
-        let buf = w.finish();
-        let mut r = Reader::new(&buf);
-        r.header("PROP", 1).unwrap();
-        prop_assert_eq!(r.u64().unwrap(), x);
-        prop_assert_eq!(r.bytes().unwrap(), bytes);
-        prop_assert_eq!(r.f32s().unwrap(), floats);
-        prop_assert_eq!(r.u64s().unwrap(), ids);
-        prop_assert!(r.is_exhausted());
-    }
-
-    /// Truncating a valid wire buffer anywhere never panics — it errors.
-    #[test]
-    fn wire_truncation_never_panics(
-        floats in proptest::collection::vec(finite_f32(), 1..32),
-        cut_frac in 0.0f64..1.0,
-    ) {
-        let mut w = Writer::new();
-        w.f32s(&floats);
+        w.f32s(floats);
         w.u64s(&[1, 2, 3]);
         let buf = w.finish();
         let cut = ((buf.len() as f64) * cut_frac) as usize;
         let mut r = Reader::new(&buf[..cut]);
         // Either both reads succeed (cut at the very end) or one errors.
         let _ = r.f32s().and_then(|_| r.u64s());
-    }
+        Ok(())
+    });
+}
 
-    /// OnlineStats matches naive two-pass computation.
-    #[test]
-    fn online_stats_matches_naive(
-        xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
-    ) {
+/// OnlineStats matches naive two-pass computation.
+#[test]
+fn online_stats_matches_naive() {
+    let strat = vec_of(f64_in(-1e3..1e3), 2..100);
+    check("online_stats_matches_naive", &strat, |xs| {
         let mut s = OnlineStats::new();
-        for &x in &xs {
+        for &x in xs {
             s.push(x);
         }
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
         prop_assert!((s.mean() - mean).abs() < 1e-6);
         prop_assert!((s.variance() - var).abs() < 1e-5);
-    }
+        Ok(())
+    });
+}
 
-    /// A perfect line always fits with r² = 1 regardless of slope.
-    #[test]
-    fn linear_fit_is_exact_on_lines(
-        slope in -100.0f64..100.0,
-        intercept in -100.0f64..100.0,
-    ) {
+/// A perfect line always fits with r² = 1 regardless of slope.
+#[test]
+fn linear_fit_is_exact_on_lines() {
+    let strat = tuple2(f64_in(-100.0..100.0), f64_in(-100.0..100.0));
+    check("linear_fit_is_exact_on_lines", &strat, |&(slope, intercept)| {
         let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
         let (s, i, r2) = linear_fit(&xs, &ys).unwrap();
         prop_assert!((s - slope).abs() < 1e-6);
         prop_assert!((i - intercept).abs() < 1e-5);
         prop_assert!(r2 > 1.0 - 1e-9 || slope.abs() < 1e-12);
-    }
+        Ok(())
+    });
 }

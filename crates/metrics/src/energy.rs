@@ -5,10 +5,9 @@
 //! reproduction's device models emit `(power_watts, duration_s)` samples
 //! into an [`EnergyMeter`], which plays the role of those counters.
 
-use serde::{Deserialize, Serialize};
 
 /// Accumulated energy for one pipeline stage.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StageEnergy {
     /// Total joules consumed.
     pub joules: f64,
@@ -38,7 +37,7 @@ impl StageEnergy {
 /// meter.record("prefill", 300.0, 0.1);
 /// assert_eq!(meter.total_joules(), 250.0 * 0.4 + 300.0 * 0.1);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct EnergyMeter {
     stages: Vec<(String, StageEnergy)>,
 }

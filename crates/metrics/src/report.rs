@@ -4,10 +4,9 @@
 //! with a `paper` column next to the `measured` column so EXPERIMENTS.md
 //! can be regenerated mechanically.
 
-use serde::{Deserialize, Serialize};
 
 /// One row of a report table: a label plus formatted cells.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Row {
     /// Row label (first column).
     pub label: String,
@@ -37,7 +36,7 @@ impl Row {
 /// assert!(rendered.contains("SQ8"));
 /// assert!(rendered.contains("recall"));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     title: String,
     headers: Vec<String>,

@@ -1,6 +1,5 @@
 //! CPU retrieval platforms and the IVF latency/power model.
 
-use serde::{Deserialize, Serialize};
 
 use crate::calibration as cal;
 
@@ -9,7 +8,7 @@ use crate::calibration as cal;
 /// The presets mirror the platforms of the paper's Figure 20; the
 /// `latency_factor` is relative to the reference Xeon Gold 6448Y at the
 /// same batch size.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CpuPlatform {
     /// Marketing name used in reports.
     pub name: String,
@@ -142,7 +141,7 @@ impl Default for CpuPlatform {
 /// let latency = model.batch_latency(10_000_000_000, 128, 128);
 /// assert!((latency - 0.97).abs() < 0.05);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RetrievalModel {
     platform: CpuPlatform,
 }

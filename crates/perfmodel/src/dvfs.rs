@@ -7,7 +7,6 @@
 //! nothing. Power follows `P(f) = P_max · (s + (1-s) · f^2.7)` with a
 //! static floor `s`.
 
-use serde::{Deserialize, Serialize};
 
 use crate::calibration as cal;
 
@@ -23,7 +22,7 @@ use crate::calibration as cal;
 /// let slowed = dvfs.energy(200.0, 0.8, 1.0);
 /// assert!(slowed < full);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DvfsModel {
     /// Static (frequency-independent) fraction of peak power.
     pub static_fraction: f64,

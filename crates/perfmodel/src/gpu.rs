@@ -1,11 +1,10 @@
 //! GPU platforms, LLM inference cost models and the query encoder.
 
-use serde::{Deserialize, Serialize};
 
 use crate::calibration as cal;
 
 /// A GPU platform for LLM inference.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuPlatform {
     /// Marketing name used in reports.
     pub name: String,
@@ -50,7 +49,7 @@ impl Default for GpuPlatform {
 }
 
 /// An open-source LLM from the paper's evaluation (Section 5).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LlmModel {
     /// Model name used in reports.
     pub name: String,
@@ -116,7 +115,7 @@ impl Default for LlmModel {
 /// let qps = 32.0 / inf.prefill_latency(32, 512);
 /// assert!((qps - 132.0).abs() < 10.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InferenceModel {
     llm: LlmModel,
     gpu: GpuPlatform,
@@ -224,7 +223,7 @@ impl Default for InferenceModel {
 }
 
 /// The query encoder (BGE-large stand-in) used before every retrieval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EncoderModel {
     /// Seconds per batch of 32 queries.
     pub s_batch32: f64,

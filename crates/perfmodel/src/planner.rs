@@ -8,7 +8,6 @@
 //! tokens) satisfying that bound, which determines how many nodes a
 //! datastore of a given size needs.
 
-use serde::{Deserialize, Serialize};
 
 use crate::cpu::RetrievalModel;
 use crate::gpu::{EncoderModel, InferenceModel};
@@ -29,7 +28,7 @@ use crate::gpu::{EncoderModel, InferenceModel};
 /// let tokens = planner.max_cluster_tokens(128, 128, 512, 16);
 /// assert!(tokens > 1_000_000_000, "{tokens}");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterPlanner {
     retrieval: RetrievalModel,
     inference: InferenceModel,

@@ -30,16 +30,13 @@
 //! assert!((approx[0] - 3.0).abs() < 0.5);
 //! ```
 
-use bytes::{BufMut, Bytes, BytesMut};
 use hermes_kmeans::{KMeans, KMeansConfig};
 use hermes_math::distance::{inner_product, l2_sq};
 use hermes_math::rng::{derive_seed, seeded_rng};
 use hermes_math::{Mat, Metric};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Which codec to train; mirrors the rows of the paper's Table 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CodecSpec {
     /// Raw little-endian f32 storage (4 bytes/dim).
     Flat,
@@ -90,13 +87,13 @@ impl std::fmt::Display for CodecSpec {
 }
 
 /// A trained vector codec.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Codec {
     dim: usize,
     kind: CodecKind,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum CodecKind {
     Flat,
     Sq(ScalarQuantizer),
@@ -150,20 +147,20 @@ impl Codec {
     /// # Panics
     ///
     /// Panics if `v.len() != self.dim()`.
-    pub fn encode(&self, v: &[f32]) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.code_size());
+    pub fn encode(&self, v: &[f32]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.code_size());
         self.encode_into(v, &mut buf);
-        buf.freeze()
+        buf
     }
 
     /// Appends the encoding of `v` to `out` — the bulk-ingest path used by
     /// the IVF inverted lists.
-    pub fn encode_into(&self, v: &[f32], out: &mut BytesMut) {
+    pub fn encode_into(&self, v: &[f32], out: &mut Vec<u8>) {
         assert_eq!(v.len(), self.dim, "dimension mismatch");
         match &self.kind {
             CodecKind::Flat => {
                 for &x in v {
-                    out.put_f32_le(x);
+                    out.extend_from_slice(&x.to_le_bytes());
                 }
             }
             CodecKind::Sq(sq) => sq.encode_into(v, out),
@@ -295,7 +292,7 @@ impl QueryScorer<'_> {
 }
 
 /// Scalar quantizer bit width.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SqBits {
     /// One byte per dimension (256 levels).
     B8,
@@ -313,7 +310,7 @@ impl SqBits {
 }
 
 /// Per-dimension min/max scalar quantizer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScalarQuantizer {
     bits: SqBits,
     mins: Vec<f32>,
@@ -373,11 +370,11 @@ impl ScalarQuantizer {
         self.mins[d] + level as f32 * self.scales[d]
     }
 
-    fn encode_into(&self, v: &[f32], out: &mut BytesMut) {
+    fn encode_into(&self, v: &[f32], out: &mut Vec<u8>) {
         match self.bits {
             SqBits::B8 => {
                 for (d, &x) in v.iter().enumerate() {
-                    out.put_u8(self.quantize_one(d, x) as u8);
+                    out.push(self.quantize_one(d, x) as u8);
                 }
             }
             SqBits::B4 => {
@@ -389,7 +386,7 @@ impl ScalarQuantizer {
                     } else {
                         0
                     };
-                    out.put_u8(lo | (hi << 4));
+                    out.push(lo | (hi << 4));
                     d += 2;
                 }
             }
@@ -450,7 +447,7 @@ impl ScalarQuantizer {
 
 /// Product quantizer: `m` subspaces, 256 centroids per subspace (8 bits),
 /// optionally preceded by an orthonormal rotation (OPQ stand-in).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ProductQuantizer {
     m: usize,
     dsub: usize,
@@ -509,7 +506,7 @@ impl ProductQuantizer {
         }
     }
 
-    fn encode_into(&self, v: &[f32], out: &mut BytesMut) {
+    fn encode_into(&self, v: &[f32], out: &mut Vec<u8>) {
         let rv = self.rotate(v);
         for s in 0..self.m {
             let sub = &rv[s * self.dsub..(s + 1) * self.dsub];
@@ -522,7 +519,7 @@ impl ProductQuantizer {
                     best = c;
                 }
             }
-            out.put_u8(best as u8);
+            out.push(best as u8);
         }
     }
 
@@ -647,8 +644,8 @@ pub fn random_rotation(dim: usize, seed: u64) -> Mat {
             (0..dim)
                 .map(|_| {
                     // Box-Muller standard normal.
-                    let u1: f32 = rng.gen::<f32>().max(1e-7);
-                    let u2: f32 = rng.gen();
+                    let u1: f32 = rng.next_f32().max(1e-7);
+                    let u2: f32 = rng.next_f32();
                     (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
                 })
                 .collect()
@@ -667,7 +664,7 @@ mod tests {
     fn gaussian_data(n: usize, dim: usize, seed: u64) -> Mat {
         let mut rng = seeded_rng(seed);
         let rows: Vec<Vec<f32>> = (0..n)
-            .map(|_| (0..dim).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect())
+            .map(|_| (0..dim).map(|_| rng.next_f32() * 2.0 - 1.0).collect())
             .collect();
         Mat::from_rows(&rows)
     }
@@ -809,7 +806,7 @@ mod tests {
     fn quantized_search_preserves_nearest_neighbor_most_of_the_time() {
         let data = gaussian_data(200, 32, 10);
         let codec = Codec::train(CodecSpec::Sq8, &data, 0);
-        let codes: Vec<Bytes> = data.iter_rows().map(|r| codec.encode(r)).collect();
+        let codes: Vec<Vec<u8>> = data.iter_rows().map(|r| codec.encode(r)).collect();
         let mut agree = 0;
         for qi in 0..50 {
             let query = data.row(qi);

@@ -5,12 +5,11 @@ use hermes_datagen::{Corpus, QuerySet};
 use hermes_core::HermesError;
 use hermes_index::{FlatIndex, SearchParams, VectorIndex};
 use hermes_metrics::{ndcg_at_k, recall_at_k};
-use serde::{Deserialize, Serialize};
 
 use crate::retriever::Retriever;
 
 /// Aggregate quality/work metrics of one retriever over one workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalReport {
     /// Mean NDCG@k against the brute-force oracle.
     pub mean_ndcg: f64,

@@ -13,7 +13,6 @@ use hermes_core::HermesError;
 use hermes_datagen::ChunkStore;
 use hermes_math::distance::normalize;
 use hermes_math::rng::{derive_seed, seeded_rng};
-use rand::Rng;
 
 use crate::retriever::{Retrieval, Retriever};
 
@@ -204,7 +203,7 @@ impl RagPipeline {
             normalize(&mut dir);
             stale_q.copy_from_slice(&q);
             for (qi, di) in q.iter_mut().zip(&dir) {
-                *qi += self.drift * di + self.drift * 0.2 * (rng.gen::<f32>() - 0.5);
+                *qi += self.drift * di + self.drift * 0.2 * (rng.next_f32() - 0.5);
             }
             normalize(&mut q);
         }

@@ -11,7 +11,6 @@
 //! feeds no latency/energy result — it only regenerates Figure 5 and lets
 //! PipeRAG-style stride tuning reason about quality.
 
-use serde::{Deserialize, Serialize};
 
 /// Analytic perplexity model.
 ///
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// // More frequent retrieval (smaller stride) lowers perplexity.
 /// assert!(m.rag_perplexity(0.578, 4, 1.0) < m.rag_perplexity(0.578, 64, 1.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PerplexityModel {
     /// Perplexity of a 1B-parameter plain LM on the reference corpus.
     pub base_ppl_1b: f64,

@@ -4,11 +4,10 @@ use hermes_core::{ClusteredStore, HermesConfig, HermesError, Routing, SplitStrat
 use hermes_index::{IvfIndex, SearchParams, VectorIndex};
 use hermes_math::{Mat, Metric, Neighbor};
 use hermes_quant::CodecSpec;
-use serde::{Deserialize, Serialize};
 
 /// Which search strategy a [`Retriever`] runs (the four curves of
 /// Figure 11).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RetrieverKind {
     /// Single IVF index over the whole datastore.
     Monolithic,

@@ -2,10 +2,9 @@
 
 use hermes_datagen::ZipfSampler;
 use hermes_perfmodel::{CpuPlatform, EncoderModel, InferenceModel, RetrievalModel};
-use serde::{Deserialize, Serialize};
 
 /// One retrieval node hosting one cluster shard.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterNode {
     /// Tokens stored in this node's index.
     pub tokens: u64,
@@ -97,9 +96,8 @@ impl Deployment {
         // Permute popularity ranks deterministically so the largest
         // cluster is not automatically the hottest.
         {
-            use rand::seq::SliceRandom;
             let mut rng = hermes_math::rng::seeded_rng(seed);
-            freq.shuffle(&mut rng);
+            rng.shuffle(&mut freq);
         }
 
         let nodes = (0..num_nodes)

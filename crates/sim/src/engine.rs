@@ -6,13 +6,12 @@
 
 use hermes_metrics::EnergyMeter;
 use hermes_perfmodel::DvfsModel;
-use serde::{Deserialize, Serialize};
 
 use crate::deployment::Deployment;
 use crate::report::{SimReport, StageSpan};
 
 /// How retrieval is organized across nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RetrievalScheme {
     /// One node holds the whole datastore (the paper's baseline).
     Monolithic,
@@ -30,7 +29,7 @@ pub enum RetrievalScheme {
 }
 
 /// Prior-work optimizations layered on the pipeline (Section 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PipelinePolicy {
     /// PipeRAG: overlap each stride's retrieval (plus re-encode/re-prefill)
     /// with the previous stride's decode.
@@ -72,7 +71,7 @@ impl PipelinePolicy {
 }
 
 /// DVFS policy applied to retrieval nodes (Figure 21).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DvfsMode {
     /// All nodes at maximum frequency; early finishers idle at static
     /// power.
@@ -87,7 +86,7 @@ pub enum DvfsMode {
 }
 
 /// Serving configuration shared by all schemes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServingConfig {
     /// Queries per batch (paper default 128; characterization uses 32).
     pub batch: usize,
@@ -132,7 +131,7 @@ impl ServingConfig {
 }
 
 /// Per-stride retrieval cost for one scheme on one deployment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetrievalCost {
     /// Wall latency of the retrieval phase(s), seconds.
     pub latency_s: f64,

@@ -10,11 +10,9 @@
 
 use hermes_math::rng::seeded_rng;
 use hermes_math::stats::{percentiles, Percentiles};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Result of a queueing run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QueueReport {
     /// Offered load: arrival rate × service time (ρ). Stable only < 1.
     pub utilization: f64,
@@ -61,7 +59,7 @@ pub fn simulate_md1(
     let mut delayed = 0usize;
     for _ in 0..num_batches {
         // Exponential inter-arrival times.
-        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
         clock += -u.ln() / rate_per_s;
         let start = clock.max(server_free_at);
         if start > clock {

@@ -1,11 +1,10 @@
 //! Structured simulation results.
 
 use hermes_metrics::EnergyMeter;
-use serde::{Deserialize, Serialize};
 
 /// One busy interval on one resource — the unit of the Figure 8 timeline
 /// plots.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageSpan {
     /// Stage label ("encode", "retrieval", "prefill", "decode").
     pub stage: String,
@@ -32,7 +31,7 @@ impl StageSpan {
 }
 
 /// Result of simulating one batch through the full RAG pipeline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Time to first token: encode + first retrieval + prefill.
     pub ttft_s: f64,

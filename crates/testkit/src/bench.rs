@@ -1,0 +1,229 @@
+//! A small wall-clock benchmark runner for `harness = false` targets.
+//!
+//! Replaces `criterion` under the zero-dependency policy. Each benchmark
+//! is timed in batches: the runner first estimates the cost of one call,
+//! sizes a batch to last roughly `sample_ms`, then records `samples`
+//! batches and reports min / median / mean ns per iteration.
+//!
+//! ```no_run
+//! use hermes_testkit::bench::Runner;
+//!
+//! fn main() {
+//!     let mut runner = Runner::from_args("my_bench");
+//!     runner.bench("add", || std::hint::black_box(2u64 + 2));
+//!     runner.finish();
+//! }
+//! ```
+//!
+//! Environment knobs: `HERMES_BENCH_SAMPLES`, `HERMES_BENCH_SAMPLE_MS`.
+//! A substring filter can be passed on the command line
+//! (`cargo bench --bench my_bench -- topk`); the conventional
+//! `--test`/`--bench` flags cargo forwards are accepted and ignored.
+
+use std::time::Instant;
+
+/// Benchmark timing configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Batches recorded per benchmark.
+    pub samples: u32,
+    /// Target wall-clock duration of one batch, in milliseconds.
+    pub sample_ms: u64,
+    /// Only run benchmarks whose name contains this substring.
+    pub filter: Option<String>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            samples: 12,
+            sample_ms: 20,
+            filter: None,
+        }
+    }
+}
+
+/// One benchmark's aggregated timings, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Benchmark name.
+    pub name: String,
+    /// Fastest batch.
+    pub min_ns: f64,
+    /// Median batch.
+    pub median_ns: f64,
+    /// Mean across batches.
+    pub mean_ns: f64,
+    /// Iterations per batch.
+    pub iters_per_sample: u64,
+    /// Number of recorded batches.
+    pub samples: u32,
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Runs benchmarks and prints one report line per benchmark.
+#[derive(Debug)]
+pub struct Runner {
+    target: String,
+    config: BenchConfig,
+    reports: Vec<BenchReport>,
+}
+
+impl Runner {
+    /// Creates a runner with an explicit configuration.
+    pub fn new(target: &str, config: BenchConfig) -> Self {
+        Runner {
+            target: target.to_string(),
+            config,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Creates a runner from `HERMES_BENCH_*` env vars and CLI args
+    /// (the first non-flag argument is a name filter).
+    pub fn from_args(target: &str) -> Self {
+        let mut config = BenchConfig::default();
+        if let Some(n) = std::env::var("HERMES_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+        {
+            config.samples = n;
+        }
+        if let Some(ms) = std::env::var("HERMES_BENCH_SAMPLE_MS")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+        {
+            config.sample_ms = ms;
+        }
+        config.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Runner::new(target, config)
+    }
+
+    /// Times `f` and records + prints a report line. Returns the report.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> Option<BenchReport> {
+        if let Some(filter) = &self.config.filter {
+            if !name.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        // Calibrate: grow the batch until it lasts ~sample_ms.
+        let target_ns = (self.config.sample_ms * 1_000_000).max(1);
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as u64;
+            if elapsed >= target_ns || iters >= 1 << 40 {
+                break;
+            }
+            let grow = if elapsed == 0 {
+                100
+            } else {
+                (target_ns / elapsed.max(1)).clamp(2, 100)
+            };
+            iters = iters.saturating_mul(grow);
+        }
+        // Measure.
+        let mut per_iter: Vec<f64> = (0..self.config.samples.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let report = BenchReport {
+            name: name.to_string(),
+            min_ns: per_iter[0],
+            median_ns: per_iter[per_iter.len() / 2],
+            mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+            iters_per_sample: iters,
+            samples: per_iter.len() as u32,
+        };
+        println!(
+            "{:<44} median {:>10}   (min {}, mean {}, {} x {} iters)",
+            format!("{}/{}", self.target, report.name),
+            format_ns(report.median_ns),
+            format_ns(report.min_ns),
+            format_ns(report.mean_ns),
+            report.samples,
+            report.iters_per_sample,
+        );
+        self.reports.push(report.clone());
+        Some(report)
+    }
+
+    /// Prints a footer; call once after the last benchmark.
+    pub fn finish(self) {
+        println!(
+            "{}: {} benchmark(s) done",
+            self.target,
+            self.reports.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> BenchConfig {
+        BenchConfig {
+            samples: 3,
+            sample_ms: 1,
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn bench_reports_positive_timings() {
+        let mut runner = Runner::new("testkit", fast_config());
+        let report = runner
+            .bench("spin", || {
+                let mut acc = 0u64;
+                for i in 0..100 {
+                    acc = acc.wrapping_add(i);
+                }
+                acc
+            })
+            .unwrap();
+        assert!(report.min_ns > 0.0);
+        assert!(report.median_ns >= report.min_ns);
+        assert_eq!(report.samples, 3);
+        runner.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut config = fast_config();
+        config.filter = Some("topk".to_string());
+        let mut runner = Runner::new("testkit", config);
+        assert!(runner.bench("distance", || 1u32).is_none());
+        assert!(runner.bench("topk_small", || 1u32).is_some());
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert_eq!(format_ns(12.3), "12.3 ns");
+        assert_eq!(format_ns(12_300.0), "12.30 µs");
+        assert_eq!(format_ns(12_300_000.0), "12.30 ms");
+        assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# CI entrypoint: full offline build + test sweep.
+#
+# The workspace has a zero-dependency policy (see DESIGN.md): everything
+# must build from a clean checkout with an empty cargo registry cache and
+# no network. `--offline` makes any accidental crates.io dependency a
+# hard failure here, and tests/hermetic.rs makes it a test failure too.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline

@@ -3,6 +3,31 @@
 
 use hermes::prelude::*;
 
+/// Pins the raw keystream of the workspace RNG. The eight words below
+/// are the frozen golden outputs of `seeded_rng(0x4E524D45)` ("NRME");
+/// every seeded experiment in EXPERIMENTS.md implicitly depends on this
+/// stream, so an RNG change must fail here loudly and be re-goldened
+/// deliberately (and noted in EXPERIMENTS.md), never slipped in.
+#[test]
+fn rng_stream_is_frozen() {
+    let mut rng = hermes::math::rng::seeded_rng(0x4E52_4D45);
+    let got: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+    assert_eq!(
+        got,
+        vec![
+            0x44D9_C31D_6D4E_CA6F,
+            0x5E89_8C28_2FF2_E5F4,
+            0xB924_17C0_A697_B42D,
+            0x25D1_60E6_BE50_DC15,
+            0xD385_42E1_A1EC_D744,
+            0xBBE0_4EBB_63DF_1EAE,
+            0x49D2_69B7_4267_88AA,
+            0xB817_8750_ABA4_D082,
+        ],
+        "the ChaCha8 keystream changed — re-golden deliberately and note it in EXPERIMENTS.md"
+    );
+}
+
 #[test]
 fn clustered_store_build_is_deterministic() {
     let corpus = Corpus::generate(CorpusSpec::new(600, 16, 5).with_seed(41));

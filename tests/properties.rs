@@ -1,127 +1,209 @@
 //! Property-based integration tests over the cross-crate invariants the
-//! Hermes design relies on.
+//! Hermes design relies on, on `hermes-testkit`.
 
 use hermes::prelude::*;
-use proptest::prelude::*;
+use hermes_testkit::prelude::*;
 
 fn small_corpus(seed: u64, docs: usize, topics: usize) -> Corpus {
     Corpus::generate(CorpusSpec::new(docs, 8, topics).with_seed(seed))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+fn cfg() -> Config {
+    Config::from_env().with_cases(16)
+}
 
-    /// Hierarchical search always returns exactly `k` hits (the corpus is
-    /// larger than `k`), sorted best first, with unique ids.
-    #[test]
-    fn search_output_is_well_formed(
-        seed in 0u64..50,
-        k in 1usize..8,
-        m in 1usize..4,
-    ) {
-        let corpus = small_corpus(seed, 300, 4);
-        let cfg = HermesConfig::new(4)
-            .with_clusters_to_search(m)
-            .with_k(k)
-            .with_seed(seed);
-        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
-        let out = store.hierarchical_search(corpus.embeddings().row(0)).unwrap();
-        prop_assert_eq!(out.hits.len(), k);
-        for w in out.hits.windows(2) {
-            prop_assert!(w[0].score >= w[1].score);
-        }
-        let mut ids: Vec<u64> = out.hits.iter().map(|n| n.id).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        prop_assert_eq!(ids.len(), k, "duplicate ids in result");
-    }
-
-    /// Searching more clusters never shrinks the scanned work, and the
-    /// ranked list is always a permutation of all clusters.
-    #[test]
-    fn deep_work_is_monotone_in_clusters_searched(seed in 0u64..30) {
-        let corpus = small_corpus(seed, 400, 5);
-        let q = corpus.embeddings().row(1).to_vec();
-        let mut prev = 0usize;
-        for m in 1..=5 {
-            let cfg = HermesConfig::new(5)
+/// Hierarchical search always returns exactly `k` hits (the corpus is
+/// larger than `k`), sorted best first, with unique ids.
+#[test]
+fn search_output_is_well_formed() {
+    let strat = tuple3(u64_in(0..50), usize_in(1..8), usize_in(1..4));
+    check_with(
+        "search_output_is_well_formed",
+        &cfg(),
+        &strat,
+        |&(seed, k, m)| {
+            let corpus = small_corpus(seed, 300, 4);
+            let cfg = HermesConfig::new(4)
                 .with_clusters_to_search(m)
+                .with_k(k)
                 .with_seed(seed);
             let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
-            let out = store.hierarchical_search(&q).unwrap();
-            prop_assert!(out.deep_cost.scanned_codes >= prev || m == 1);
-            prev = out.deep_cost.scanned_codes;
-            let mut ranked = out.ranked_clusters.clone();
-            ranked.sort_unstable();
-            prop_assert_eq!(ranked, (0..5).collect::<Vec<_>>());
-        }
-    }
+            let out = store.hierarchical_search(corpus.embeddings().row(0)).unwrap();
+            prop_assert_eq!(out.hits.len(), k);
+            for w in out.hits.windows(2) {
+                prop_assert!(w[0].score >= w[1].score);
+            }
+            let mut ids: Vec<u64> = out.hits.iter().map(|n| n.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), k);
+            Ok(())
+        },
+    );
+}
 
-    /// Cluster sizes always partition the corpus.
-    #[test]
-    fn split_partitions_the_corpus(seed in 0u64..30, c in 2usize..8) {
+/// Searching more clusters never shrinks the scanned work, and the
+/// ranked list is always a permutation of all clusters.
+#[test]
+fn deep_work_is_monotone_in_clusters_searched() {
+    check_with(
+        "deep_work_is_monotone_in_clusters_searched",
+        &cfg(),
+        &u64_in(0..30),
+        |&seed| {
+            let corpus = small_corpus(seed, 400, 5);
+            let q = corpus.embeddings().row(1).to_vec();
+            let mut prev = 0usize;
+            for m in 1..=5 {
+                let cfg = HermesConfig::new(5)
+                    .with_clusters_to_search(m)
+                    .with_seed(seed);
+                let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+                let out = store.hierarchical_search(&q).unwrap();
+                prop_assert!(out.deep_cost.scanned_codes >= prev || m == 1);
+                prev = out.deep_cost.scanned_codes;
+                let mut ranked = out.ranked_clusters.clone();
+                ranked.sort_unstable();
+                prop_assert_eq!(ranked, (0..5).collect::<Vec<_>>());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Deep-searching *all* `C` clusters with a lossless codec and full
+/// probes is exactly a flat search of the union of the shards.
+#[test]
+fn full_deep_search_equals_flat_search_of_union() {
+    let strat = tuple2(u64_in(0..30), usize_in(2..6));
+    check_with(
+        "full_deep_search_equals_flat_search_of_union",
+        &cfg(),
+        &strat,
+        |&(seed, c)| {
+            let corpus = small_corpus(seed, 250, 4);
+            let cfg = HermesConfig::new(c)
+                .with_clusters_to_search(c) // m = C: no routing pruning
+                .with_codec(CodecSpec::Flat)
+                .with_k(5)
+                .with_seed(seed);
+            let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+            let flat = FlatIndex::new(corpus.embeddings().clone(), cfg.metric);
+            for qi in [0usize, 7, 99] {
+                let q = corpus.embeddings().row(qi);
+                let hier = store.hierarchical_search(q).unwrap();
+                let exact = flat.search(q, 5, &SearchParams::new()).unwrap();
+                let got: Vec<u64> = hier.hits.iter().map(|n| n.id).collect();
+                let want: Vec<u64> = exact.iter().map(|n| n.id).collect();
+                prop_assert_eq!(got, want);
+                for (h, e) in hier.hits.iter().zip(&exact) {
+                    prop_assert!(
+                        (h.score - e.score).abs() <= 1e-4 * e.score.abs().max(1.0),
+                        "score drift at id {}: {} vs {}",
+                        h.id,
+                        h.score,
+                        e.score
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Cluster sizes always partition the corpus.
+#[test]
+fn split_partitions_the_corpus() {
+    let strat = tuple2(u64_in(0..30), usize_in(2..8));
+    check_with("split_partitions_the_corpus", &cfg(), &strat, |&(seed, c)| {
         let corpus = small_corpus(seed, 350, 4);
         let cfg = HermesConfig::new(c)
             .with_clusters_to_search(1)
             .with_seed(seed);
         let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
         prop_assert_eq!(store.cluster_sizes().iter().sum::<usize>(), 350);
-    }
+        Ok(())
+    });
+}
 
-    /// The retrieval latency model is monotone in every argument.
-    #[test]
-    fn latency_model_is_monotone(
-        tokens in 1_000_000u64..1_000_000_000,
-        batch in 1usize..256,
-        nprobe in 1usize..128,
-    ) {
-        let m = RetrievalModel::default();
-        let base = m.batch_latency(tokens, batch, nprobe);
-        prop_assert!(m.batch_latency(tokens * 2, batch, nprobe) > base);
-        prop_assert!(m.batch_latency(tokens, batch + 8, nprobe) > base);
-        prop_assert!(m.batch_latency(tokens, batch, nprobe + 8) > base);
-        prop_assert!(base > 0.0);
-    }
+/// The retrieval latency model is monotone in every argument.
+#[test]
+fn latency_model_is_monotone() {
+    let strat = tuple3(
+        u64_in(1_000_000..1_000_000_000),
+        usize_in(1..256),
+        usize_in(1..128),
+    );
+    check_with(
+        "latency_model_is_monotone",
+        &cfg(),
+        &strat,
+        |&(tokens, batch, nprobe)| {
+            let m = RetrievalModel::default();
+            let base = m.batch_latency(tokens, batch, nprobe);
+            prop_assert!(m.batch_latency(tokens * 2, batch, nprobe) > base);
+            prop_assert!(m.batch_latency(tokens, batch + 8, nprobe) > base);
+            prop_assert!(m.batch_latency(tokens, batch, nprobe + 8) > base);
+            prop_assert!(base > 0.0);
+            Ok(())
+        },
+    );
+}
 
-    /// Simulated E2E latency always dominates TTFT, and energy is
-    /// positive and finite.
-    #[test]
-    fn sim_invariants_hold(
-        tokens_b in 1u64..2_000,
-        nodes in 1usize..16,
-        stride_pow in 2u32..7,
-    ) {
-        let sim = MultiNodeSim::new(Deployment::uniform(tokens_b * 1_000_000_000, nodes));
-        let serving = ServingConfig::paper_default().with_stride(1 << stride_pow);
-        let scheme = RetrievalScheme::Hermes {
-            clusters_to_search: 3.min(nodes),
-            sample_nprobe: 8,
-        };
-        for policy in [PipelinePolicy::baseline(), PipelinePolicy::combined()] {
-            let r = sim.run(&serving, scheme, policy, DvfsMode::Off);
-            prop_assert!(r.e2e_s >= r.ttft_s);
-            prop_assert!(r.total_joules() > 0.0);
-            prop_assert!(r.total_joules().is_finite());
-            prop_assert!(r.retrieval_qps > 0.0);
-        }
-    }
+/// Simulated E2E latency always dominates TTFT, and energy is
+/// positive and finite.
+#[test]
+fn sim_invariants_hold() {
+    let strat = tuple3(u64_in(1..2_000), usize_in(1..16), usize_in(2..7));
+    check_with(
+        "sim_invariants_hold",
+        &cfg(),
+        &strat,
+        |&(tokens_b, nodes, stride_pow)| {
+            let sim = MultiNodeSim::new(Deployment::uniform(tokens_b * 1_000_000_000, nodes));
+            let serving = ServingConfig::paper_default().with_stride(1 << stride_pow);
+            let scheme = RetrievalScheme::Hermes {
+                clusters_to_search: 3.min(nodes),
+                sample_nprobe: 8,
+            };
+            for policy in [PipelinePolicy::baseline(), PipelinePolicy::combined()] {
+                let r = sim.run(&serving, scheme, policy, DvfsMode::Off);
+                prop_assert!(r.e2e_s >= r.ttft_s);
+                prop_assert!(r.total_joules() > 0.0);
+                prop_assert!(r.total_joules().is_finite());
+                prop_assert!(r.retrieval_qps > 0.0);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// NDCG and recall stay in [0, 1] for arbitrary id lists.
-    #[test]
-    fn metrics_stay_in_unit_interval(
-        truth in proptest::collection::vec(0u64..50, 0..10),
-        got in proptest::collection::vec(0u64..50, 0..10),
-        k in 1usize..10,
-    ) {
-        let n = ndcg_at_k(&truth, &got, k);
-        let r = recall_at_k(&truth, &got, k);
-        prop_assert!((0.0..=1.0).contains(&n), "ndcg {}", n);
-        prop_assert!((0.0..=1.0).contains(&r), "recall {}", r);
-    }
+/// NDCG and recall stay in [0, 1] for arbitrary id lists.
+#[test]
+fn metrics_stay_in_unit_interval() {
+    let strat = tuple3(
+        vec_of(u64_in(0..50), 0..10),
+        vec_of(u64_in(0..50), 0..10),
+        usize_in(1..10),
+    );
+    check_with(
+        "metrics_stay_in_unit_interval",
+        &cfg(),
+        &strat,
+        |(truth, got, k)| {
+            let n = ndcg_at_k(truth, got, *k);
+            let r = recall_at_k(truth, got, *k);
+            prop_assert!((0.0..=1.0).contains(&n), "ndcg {}", n);
+            prop_assert!((0.0..=1.0).contains(&r), "recall {}", r);
+            Ok(())
+        },
+    );
+}
 
-    /// Codec round-trips preserve dimensionality and stay finite.
-    #[test]
-    fn codec_round_trip_shape(seed in 0u64..20) {
+/// Codec round-trips preserve dimensionality and stay finite.
+#[test]
+fn codec_round_trip_shape() {
+    check_with("codec_round_trip_shape", &cfg(), &u64_in(0..20), |&seed| {
         let corpus = small_corpus(seed, 300, 3);
         for spec in [CodecSpec::Flat, CodecSpec::Sq8, CodecSpec::Sq4, CodecSpec::Pq { m: 2 }] {
             let codec = Codec::train(spec, corpus.embeddings(), seed);
@@ -129,5 +211,6 @@ proptest! {
             prop_assert_eq!(decoded.len(), 8);
             prop_assert!(decoded.iter().all(|x| x.is_finite()));
         }
-    }
+        Ok(())
+    });
 }

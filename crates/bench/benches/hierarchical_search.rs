@@ -3,9 +3,10 @@
 //! different deep-cluster counts. Runs on the `hermes-testkit`
 //! wall-clock runner (`cargo bench --bench hierarchical_search`).
 
-use hermes_core::{ClusteredStore, HermesConfig};
+use hermes_core::{ClusteredStore, HermesConfig, SearchOutcome};
 use hermes_datagen::{Corpus, CorpusSpec, QuerySet, QuerySpec};
 use hermes_index::{IvfIndex, SearchParams, VectorIndex};
+use hermes_pool::Pool;
 use hermes_quant::CodecSpec;
 use hermes_testkit::bench::Runner;
 
@@ -31,6 +32,9 @@ fn main() {
             std::hint::black_box(index.search(q, 5, &params).expect("search"));
         }
     });
+    runner.bench("batch/monolithic_ivf_pooled", || {
+        std::hint::black_box(index.batch_search(&qs, 5, &params, 0).expect("search"))
+    });
 
     for m in [1usize, 3, 10] {
         let cfg = HermesConfig::new(10)
@@ -52,5 +56,44 @@ fn main() {
         }
     });
 
+    // Batch scheduling: fresh OS threads with static chunks per call
+    // (the pre-pool design) vs the persistent work-stealing executor.
+    // Run with HERMES_THREADS=<n> to size the pool; the spawn baseline
+    // uses the same fan-out width.
+    let threads = Pool::global().threads();
+    runner.bench(&format!("batch/spawn_per_batch/t{threads}"), || {
+        std::hint::black_box(spawn_per_batch(&store, &qs, threads))
+    });
+    runner.bench(&format!("batch/pooled/t{threads}"), || {
+        std::hint::black_box(store.batch_hierarchical_search(&qs, 0).expect("search"))
+    });
+    runner.bench("batch/sequential", || {
+        std::hint::black_box(store.batch_hierarchical_search(&qs, 1).expect("search"))
+    });
+
     runner.finish();
+}
+
+/// The pre-pool `batch_hierarchical_search`: spawn `threads` scoped OS
+/// threads per call, each owning a static contiguous chunk. Kept here as
+/// the bench baseline the pooled path is measured against.
+fn spawn_per_batch(store: &ClusteredStore, qs: &[Vec<f32>], threads: usize) -> Vec<SearchOutcome> {
+    let chunk = qs.len().div_ceil(threads.max(1));
+    let mut partials: Vec<Vec<SearchOutcome>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = qs
+            .chunks(chunk)
+            .map(|c| {
+                scope.spawn(move || {
+                    c.iter()
+                        .map(|q| store.hierarchical_search(q).expect("search"))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("worker"));
+        }
+    });
+    partials.concat()
 }

@@ -16,7 +16,7 @@ use std::path::PathBuf;
 
 use hermes_core::HermesConfig;
 use hermes_datagen::{Corpus, CorpusSpec, QuerySet, QuerySpec};
-use hermes_index::{FlatIndex, SearchParams, VectorIndex};
+use hermes_index::FlatIndex;
 use hermes_math::Metric;
 use hermes_metrics::Table;
 
@@ -45,18 +45,10 @@ impl EvalSetup {
             QuerySpec::new(num_queries).with_seed(BENCH_SEED + 1),
         );
         let oracle = FlatIndex::new(corpus.embeddings().clone(), Metric::InnerProduct);
-        let truth = queries
-            .embeddings()
-            .iter_rows()
-            .map(|q| {
-                oracle
-                    .search(q, k, &SearchParams::new())
-                    .expect("oracle search")
-                    .iter()
-                    .map(|n| n.id)
-                    .collect()
-            })
-            .collect();
+        // The exhaustive oracle scan is the slowest part of every
+        // accuracy bench; it fans out per query on the shared pool.
+        let truth = hermes_metrics::ground_truth(&oracle, &queries.to_vecs(), k)
+            .expect("oracle search");
         EvalSetup {
             corpus,
             queries,

@@ -132,43 +132,33 @@ impl ClusteredStore {
         })
     }
 
-    /// Runs hierarchical searches for a whole batch, optionally fanned
-    /// out over `threads` OS threads (one query per thread, FAISS-style
-    /// work stealing — how the paper's retriever consumes batches).
+    /// Runs hierarchical searches for a whole batch on the shared
+    /// work-stealing executor ([`hermes_pool::Pool::global`]): one query
+    /// per steal from an atomic cursor — how the paper's retriever
+    /// consumes batches, but robust to the skewed per-query cost its
+    /// Zipf traces produce (static chunks strand threads; stealing does
+    /// not).
+    ///
+    /// `threads` caps the fan-out: `0` uses the pool's full width
+    /// (`HERMES_THREADS` or the machine's parallelism), `1` runs inline
+    /// and sequentially, `t > 1` uses at most `t` threads. Results are
+    /// bit-identical to the sequential loop for every setting, and a
+    /// panicking worker re-raises its original payload on the caller.
     ///
     /// # Errors
     ///
-    /// Propagates the first per-query error encountered.
+    /// Propagates the first per-query error in input order.
     pub fn batch_hierarchical_search(
         &self,
         queries: &[Vec<f32>],
         threads: usize,
     ) -> Result<Vec<SearchOutcome>, HermesError> {
-        if threads <= 1 || queries.len() <= 1 {
+        if threads == 1 || queries.len() <= 1 {
             return queries.iter().map(|q| self.hierarchical_search(q)).collect();
         }
-        let chunk = queries.len().div_ceil(threads);
-        let mut partials: Vec<Result<Vec<SearchOutcome>, HermesError>> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = queries
-                .chunks(chunk)
-                .map(|qs| {
-                    scope.spawn(move || {
-                        qs.iter()
-                            .map(|q| self.hierarchical_search(q))
-                            .collect::<Result<Vec<_>, _>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                partials.push(h.join().expect("search worker panicked"));
-            }
-        });
-        let mut out = Vec::with_capacity(queries.len());
-        for p in partials {
-            out.extend(p?);
-        }
-        Ok(out)
+        let cap = if threads == 0 { usize::MAX } else { threads };
+        hermes_pool::Pool::global()
+            .try_parallel_map_capped(queries, cap, |q| self.hierarchical_search(q))
     }
 
     /// Runs the routing + deep-search for every query and returns how
@@ -182,10 +172,16 @@ impl ClusteredStore {
         &self,
         queries: &[Vec<f32>],
     ) -> Result<Vec<usize>, HermesError> {
+        // Per-query searches fan out on the shared pool; the histogram
+        // accumulation stays sequential in input order, so counts are
+        // deterministic for any pool width.
+        let searched: Vec<Result<Vec<usize>, HermesError>> = hermes_pool::Pool::global()
+            .parallel_map(queries, |q| {
+                self.hierarchical_search(q).map(|out| out.searched_clusters)
+            });
         let mut counts = vec![0usize; self.num_clusters()];
-        for q in queries {
-            let out = self.hierarchical_search(q)?;
-            for &c in &out.searched_clusters {
+        for per_query in searched {
+            for c in per_query? {
                 counts[c] += 1;
             }
         }
@@ -409,8 +405,12 @@ mod tests {
             .iter()
             .map(|q| store.hierarchical_search(q).unwrap())
             .collect();
-        let batched = store.batch_hierarchical_search(&qs, 4).unwrap();
-        assert_eq!(sequential, batched);
+        // 0 = full pool width, 1 = inline, 4 = capped, 64 = oversubscribed;
+        // every schedule must be bit-identical to the sequential loop.
+        for threads in [0usize, 1, 4, 64] {
+            let batched = store.batch_hierarchical_search(&qs, threads).unwrap();
+            assert_eq!(sequential, batched, "threads={threads}");
+        }
     }
 
     #[test]
@@ -420,6 +420,48 @@ mod tests {
         let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
         let bad = vec![vec![1.0f32, 2.0], vec![3.0, 4.0]];
         assert!(store.batch_hierarchical_search(&bad, 2).is_err());
+    }
+
+    #[test]
+    fn batch_error_is_sequential_first_error_mid_batch() {
+        // One wrong-dimension query in the middle of an otherwise good
+        // batch: the reported error must be the first in *input* order
+        // (the 2-dim mismatch, not the later 1-dim one), matching what a
+        // sequential loop raises — for every thread cap.
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(4).with_seed(1);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let good = |i: usize| queries.embeddings().row(i).to_vec();
+        let batch = vec![good(0), vec![1.0f32, 2.0], good(1), vec![3.0f32]];
+        let sequential_err = batch
+            .iter()
+            .map(|q| store.hierarchical_search(q))
+            .find_map(Result::err)
+            .unwrap();
+        assert!(matches!(sequential_err, HermesError::Index(_)));
+        for threads in [0usize, 2, 16] {
+            let batch_err = store.batch_hierarchical_search(&batch, threads).unwrap_err();
+            assert_eq!(batch_err, sequential_err, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn access_histogram_matches_sequential_accumulation() {
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(8).with_seed(1).with_clusters_to_search(3);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let qs: Vec<Vec<f32>> = queries
+            .embeddings()
+            .iter_rows()
+            .map(<[f32]>::to_vec)
+            .collect();
+        let mut expected = vec![0usize; store.num_clusters()];
+        for q in &qs {
+            for &c in &store.hierarchical_search(q).unwrap().searched_clusters {
+                expected[c] += 1;
+            }
+        }
+        assert_eq!(store.access_histogram(&qs).unwrap(), expected);
     }
 
     #[test]

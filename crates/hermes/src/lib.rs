@@ -44,6 +44,7 @@ pub use hermes_kmeans as kmeans;
 pub use hermes_math as math;
 pub use hermes_metrics as metrics;
 pub use hermes_perfmodel as perfmodel;
+pub use hermes_pool as pool;
 pub use hermes_quant as quant;
 pub use hermes_rag as rag;
 pub use hermes_sim as sim;

@@ -152,12 +152,20 @@ pub trait VectorIndex: Send + Sync {
         params: &SearchParams,
     ) -> Result<Vec<Neighbor>, IndexError>;
 
-    /// Searches a batch of queries, optionally fanned out over `threads`
-    /// OS threads (FAISS-style one-query-per-thread work stealing).
+    /// Searches a batch of queries on the shared work-stealing executor
+    /// ([`hermes_pool::Pool::global`]): queries are stolen one at a time
+    /// from an atomic cursor (FAISS-style dynamic scheduling), so skewed
+    /// per-query cost cannot strand threads the way static chunking did.
+    ///
+    /// `threads` caps the fan-out: `0` uses the pool's full width
+    /// (`HERMES_THREADS` or the machine's parallelism), `1` runs inline
+    /// and sequentially, `t > 1` uses at most `t` threads. Results are
+    /// bit-identical to the sequential loop for every setting, and a
+    /// panicking worker re-raises its original payload on the caller.
     ///
     /// # Errors
     ///
-    /// Propagates the first per-query error encountered.
+    /// Propagates the first per-query error in input order.
     fn batch_search(
         &self,
         queries: &[Vec<f32>],
@@ -165,31 +173,12 @@ pub trait VectorIndex: Send + Sync {
         params: &SearchParams,
         threads: usize,
     ) -> Result<Vec<Vec<Neighbor>>, IndexError> {
-        if threads <= 1 || queries.len() <= 1 {
+        if threads == 1 || queries.len() <= 1 {
             return queries.iter().map(|q| self.search(q, k, params)).collect();
         }
-        let chunk = queries.len().div_ceil(threads);
-        let mut out: Vec<Result<Vec<Vec<Neighbor>>, IndexError>> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = queries
-                .chunks(chunk)
-                .map(|qs| {
-                    scope.spawn(move || {
-                        qs.iter()
-                            .map(|q| self.search(q, k, params))
-                            .collect::<Result<Vec<_>, _>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                out.push(h.join().expect("search worker panicked"));
-            }
-        });
-        let mut results = Vec::with_capacity(queries.len());
-        for r in out {
-            results.extend(r?);
-        }
-        Ok(results)
+        let cap = if threads == 0 { usize::MAX } else { threads };
+        hermes_pool::Pool::global()
+            .try_parallel_map_capped(queries, cap, |q| self.search(q, k, params))
     }
 }
 

@@ -157,6 +157,107 @@ fn f16_round_trip_error_bound() {
     );
 }
 
+/// Builds all three index families over the same data.
+fn all_families(data: &Mat) -> Vec<(&'static str, Box<dyn VectorIndex>)> {
+    vec![
+        (
+            "flat",
+            Box::new(FlatIndex::new(data.clone(), Metric::L2)) as Box<dyn VectorIndex>,
+        ),
+        (
+            "ivf",
+            Box::new(
+                IvfIndex::builder()
+                    .nlist(3)
+                    .codec(CodecSpec::Sq8)
+                    .metric(Metric::L2)
+                    .build(data)
+                    .unwrap(),
+            ),
+        ),
+        (
+            "hnsw",
+            Box::new(
+                HnswIndex::builder()
+                    .m(4)
+                    .metric(Metric::L2)
+                    .storage(VectorStorage::F32)
+                    .build(data)
+                    .unwrap(),
+            ),
+        ),
+    ]
+}
+
+/// Pooled batch search is bit-identical to the sequential loop for every
+/// index family and any thread cap (0 = full pool, 1 = inline, n > pool
+/// width = oversubscribed).
+#[test]
+fn batch_search_equals_sequential_for_all_families() {
+    let strat = tuple2(data_strategy(40, 4), usize_in(0..9));
+    check_with(
+        "batch_search_equals_sequential_for_all_families",
+        &cfg(),
+        &strat,
+        |(rows, threads)| {
+            let data = Mat::from_rows(rows);
+            let queries: Vec<Vec<f32>> = data.iter_rows().map(<[f32]>::to_vec).collect();
+            let params = SearchParams::new().with_nprobe(3).with_ef_search(16);
+            for (family, index) in all_families(&data) {
+                let sequential: Vec<_> = queries
+                    .iter()
+                    .map(|q| index.search(q, 3, &params).unwrap())
+                    .collect();
+                let batched = index.batch_search(&queries, 3, &params, *threads).unwrap();
+                prop_assert!(
+                    sequential == batched,
+                    "family {family} diverged at threads={threads}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// A wrong-dimension query mid-batch surfaces as the same first-in-input-
+/// order error the sequential loop reports, for every index family.
+#[test]
+fn batch_search_propagates_first_error_in_input_order() {
+    let strat = tuple2(data_strategy(30, 4), usize_in(0..6));
+    check_with(
+        "batch_search_propagates_first_error_in_input_order",
+        &cfg(),
+        &strat,
+        |(rows, threads)| {
+            let data = Mat::from_rows(rows);
+            let params = SearchParams::new().with_nprobe(3);
+            // Good, bad (3-dim), good, bad (1-dim): the 3-dim mismatch
+            // at index 1 must win regardless of schedule.
+            let queries = vec![
+                data.row(0).to_vec(),
+                vec![1.0, 2.0, 3.0],
+                data.row(1).to_vec(),
+                vec![9.0],
+            ];
+            for (family, index) in all_families(&data) {
+                let sequential_err = queries
+                    .iter()
+                    .map(|q| index.search(q, 2, &params))
+                    .find_map(Result::err)
+                    .unwrap();
+                let batch_err = index
+                    .batch_search(&queries, 2, &params, *threads)
+                    .unwrap_err();
+                prop_assert!(
+                    sequential_err == batch_err,
+                    "family {family} reported a different error at threads={threads}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
 /// HNSW always returns unique ids sorted best-first.
 #[test]
 fn hnsw_results_are_unique_and_sorted() {

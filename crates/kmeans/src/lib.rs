@@ -144,10 +144,10 @@ impl KMeans {
         let mut iterations = 0;
         for iter in 0..cfg.max_iters.max(1) {
             iterations = iter + 1;
-            // Assignment step.
+            // Assignment step (pooled sweep; inertia accumulates in row
+            // order, so the sum is bit-identical to a sequential loop).
             let mut new_inertia = 0.0f64;
-            for (i, row) in data.iter_rows().enumerate() {
-                let (c, d) = nearest_centroid(&centroids, row);
+            for (i, (c, d)) in assign_sweep(data, &centroids).into_iter().enumerate() {
                 assignments[i] = c as u32;
                 new_inertia += d as f64;
             }
@@ -181,8 +181,7 @@ impl KMeans {
         // Final assignment against the last centroid update.
         let mut cluster_sizes = vec![0usize; k];
         let mut final_inertia = 0.0f64;
-        for (i, row) in data.iter_rows().enumerate() {
-            let (c, d) = nearest_centroid(&centroids, row);
+        for (i, (c, d)) in assign_sweep(data, &centroids).into_iter().enumerate() {
             assignments[i] = c as u32;
             cluster_sizes[c] += 1;
             final_inertia += d as f64;
@@ -342,6 +341,26 @@ fn init_plus_plus(data: &Mat, k: usize, rng: &mut SeededRng) -> Mat {
     Mat::from_rows(&rows)
 }
 
+/// Rows below this count run the assignment sweep inline — the pool's
+/// dispatch overhead only pays for itself on real datastores, not the
+/// toy matrices unit tests and doctest blobs feed in.
+const PARALLEL_SWEEP_MIN_ROWS: usize = 256;
+
+/// Nearest-centroid assignment for every row, in row order — the inner
+/// loop of Lloyd's algorithm, fanned out on the shared work-stealing
+/// pool. Each row's result is exact and schedule-independent, so the
+/// sweep is deterministic for any `HERMES_THREADS`.
+fn assign_sweep(data: &Mat, centroids: &Mat) -> Vec<(usize, f32)> {
+    if data.rows() < PARALLEL_SWEEP_MIN_ROWS {
+        return data
+            .iter_rows()
+            .map(|row| nearest_centroid(centroids, row))
+            .collect();
+    }
+    hermes_pool::Pool::global()
+        .parallel_map_index(data.rows(), |i| nearest_centroid(centroids, data.row(i)))
+}
+
 fn nearest_centroid(centroids: &Mat, v: &[f32]) -> (usize, f32) {
     let mut best = 0usize;
     let mut best_d = f32::INFINITY;
@@ -474,30 +493,48 @@ impl SeedSweep {
         } else {
             data
         };
-        let mut outcomes = Vec::with_capacity(self.num_seeds as usize);
-        let mut best: Option<(usize, Mat)> = None;
-        for s in 0..self.num_seeds {
-            let seed = derive_seed(self.config.seed, s);
-            let cfg = KMeansConfig { seed, ..self.config };
-            let model = KMeans::train(eval_data, &cfg);
-            outcomes.push(SeedOutcome {
-                seed,
-                // A cluster emptied on the subsample counts as maximal
-                // imbalance rather than a missing value.
-                imbalance: model.imbalance().unwrap_or(f64::INFINITY),
-                inertia: model.inertia(),
+        // The candidate seeds are independent trainings — the sweep's
+        // natural parallelism. Each run fans out on the shared pool (a
+        // training already inside a pool task runs inline), and the
+        // outcome order is the seed order, so the winner is the same
+        // first-minimum a sequential sweep picks.
+        let seeds: Vec<u64> = (0..self.num_seeds)
+            .map(|s| derive_seed(self.config.seed, s))
+            .collect();
+        let runs: Vec<(SeedOutcome, Mat)> = hermes_pool::Pool::global()
+            .parallel_map(&seeds, |&seed| {
+                let cfg = KMeansConfig { seed, ..self.config };
+                let model = KMeans::train(eval_data, &cfg);
+                (
+                    SeedOutcome {
+                        seed,
+                        // A cluster emptied on the subsample counts as
+                        // maximal imbalance rather than a missing value.
+                        imbalance: model.imbalance().unwrap_or(f64::INFINITY),
+                        inertia: model.inertia(),
+                    },
+                    model.centroids().clone(),
+                )
             });
-            let is_better = match &best {
-                Some((idx, _)) => {
-                    outcomes.last().expect("just pushed").imbalance < outcomes[*idx].imbalance
-                }
-                None => true,
-            };
-            if is_better {
-                best = Some((outcomes.len() - 1, model.centroids().clone()));
+        let best_idx = runs
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.0.imbalance
+                    .partial_cmp(&b.0.imbalance)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .expect("num_seeds > 0");
+        let mut outcomes = Vec::with_capacity(runs.len());
+        let mut best_centroids = None;
+        for (i, (outcome, centroids)) in runs.into_iter().enumerate() {
+            if i == best_idx {
+                best_centroids = Some(centroids);
             }
+            outcomes.push(outcome);
         }
-        let (best_idx, best_centroids) = best.expect("num_seeds > 0");
+        let best_centroids = best_centroids.expect("best index in range");
         SweepResult {
             best_seed: outcomes[best_idx].seed,
             best_imbalance: outcomes[best_idx].imbalance,

@@ -2,6 +2,9 @@
 //!
 //! * [`ranking`] — NDCG (the paper's retrieval-quality metric, computed
 //!   against a brute-force ground truth), recall@k and overlap.
+//! * [`truth`] — the brute-force oracle itself, fanned out per query on
+//!   the shared `hermes-pool` executor (the slowest step of every
+//!   accuracy bench), plus batched NDCG.
 //! * [`energy`] — joule/watt accounting mirroring the paper's RAPL/pynvml
 //!   measurements, plus throughput helpers.
 //! * [`report`] — ASCII tables and series used by every bench binary to
@@ -10,7 +13,9 @@
 pub mod energy;
 pub mod ranking;
 pub mod report;
+pub mod truth;
 
 pub use energy::{EnergyMeter, StageEnergy};
 pub use ranking::{ndcg_at_k, overlap_at_k, recall_at_k};
 pub use report::{normalize_to_max, Row, Table};
+pub use truth::{batch_ndcg_at_k, ground_truth};

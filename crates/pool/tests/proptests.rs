@@ -1,0 +1,150 @@
+//! Property-based concurrency tests for the work-stealing executor, on
+//! `hermes-testkit`.
+//!
+//! The load-bearing invariant for the whole workspace: for ANY input
+//! length and ANY pool width (0, 1, width > len, oversubscribed),
+//! `parallel_map` is indistinguishable from the sequential map — same
+//! values, same order, nothing lost, nothing duplicated. Every batch
+//! search path inherits its determinism guarantee from these properties.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hermes_math::rng::seeded_rng;
+use hermes_pool::Pool;
+use hermes_testkit::prelude::*;
+
+fn cfg() -> Config {
+    Config::from_env().with_cases(24)
+}
+
+/// `parallel_map` equals the sequential map for arbitrary input lengths
+/// × thread counts, including 0 (clamped to 1), 1 (no workers at all)
+/// and `len < threads` (idle workers must not corrupt or duplicate).
+#[test]
+fn parallel_map_equals_sequential_map() {
+    let strat = tuple2(vec_of(u64_any(), 0..80), usize_in(0..10));
+    check_with(
+        "parallel_map_equals_sequential_map",
+        &cfg(),
+        &strat,
+        |(xs, threads)| {
+            let pool = Pool::new(*threads);
+            let xform = |x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(13) ^ 0xA5A5;
+            let sequential: Vec<u64> = xs.iter().map(xform).collect();
+            let parallel = pool.parallel_map(xs, xform);
+            prop_assert_eq!(sequential, parallel);
+            Ok(())
+        },
+    );
+}
+
+/// Fallible maps report the error of the lowest failing *input index*,
+/// never a schedule-dependent one.
+#[test]
+fn try_map_error_is_first_in_input_order() {
+    let strat = tuple3(vec_of(u64_in(0..50), 1..60), usize_in(1..9), u64_in(0..50));
+    check_with(
+        "try_map_error_is_first_in_input_order",
+        &cfg(),
+        &strat,
+        |(xs, threads, bad)| {
+            let pool = Pool::new(*threads);
+            let f = |x: &u64| -> Result<u64, String> {
+                if x == bad {
+                    Err(format!("rejected {x}"))
+                } else {
+                    Ok(x + 1)
+                }
+            };
+            let sequential: Result<Vec<u64>, String> = xs.iter().map(f).collect();
+            let parallel = pool.try_parallel_map(xs, f);
+            prop_assert_eq!(sequential, parallel);
+            Ok(())
+        },
+    );
+}
+
+/// Indexed maps (the grained path used by the K-means sweeps) are also
+/// order- and value-identical to the sequential loop.
+#[test]
+fn map_index_equals_sequential_loop() {
+    let strat = tuple2(usize_in(0..2000), usize_in(0..6));
+    check_with(
+        "map_index_equals_sequential_loop",
+        &cfg(),
+        &strat,
+        |(n, threads)| {
+            let pool = Pool::new(*threads);
+            let sequential: Vec<usize> = (0..*n).map(|i| i.wrapping_mul(7) % 1013).collect();
+            let parallel = pool.parallel_map_index(*n, |i| i.wrapping_mul(7) % 1013);
+            prop_assert_eq!(sequential, parallel);
+            Ok(())
+        },
+    );
+}
+
+/// Seeded stress test with deliberately skewed per-task cost (a Zipf-like
+/// spread: a few tasks ~1000× the median, mirroring the paper's skewed
+/// cluster access traces). Dynamic stealing must keep the results
+/// ordered, complete, and must actually share the work (every
+/// participant-visible task executes exactly once).
+#[test]
+fn skewed_task_cost_keeps_results_ordered_and_complete() {
+    let pool = Pool::new(8);
+    let mut rng = seeded_rng(0x5745_4550); // "SWEP"
+    let n = 400usize;
+    // Mostly tiny tasks, occasional huge ones at deterministic but
+    // irregular positions.
+    let costs: Vec<u64> = (0..n)
+        .map(|i| {
+            if i % 53 == 0 {
+                25_000
+            } else {
+                rng.gen_range(1..64)
+            }
+        })
+        .collect();
+    let executions = AtomicUsize::new(0);
+
+    let spin = |&cost: &u64| {
+        executions.fetch_add(1, Ordering::Relaxed);
+        let mut acc = cost;
+        for j in 0..cost {
+            acc = acc.wrapping_add(j ^ acc.rotate_left(3));
+        }
+        (cost, acc)
+    };
+    let parallel = pool.parallel_map(&costs, spin);
+
+    assert_eq!(parallel.len(), n, "no task may be dropped");
+    assert_eq!(
+        executions.load(Ordering::Relaxed),
+        n,
+        "every task runs exactly once"
+    );
+    // Slot i holds task i's result: the cost echo proves ordering, the
+    // accumulator proves the result is task i's own computation.
+    let sequential: Vec<(u64, u64)> = costs
+        .iter()
+        .map(|&cost| {
+            let mut acc = cost;
+            for j in 0..cost {
+                acc = acc.wrapping_add(j ^ acc.rotate_left(3));
+            }
+            (cost, acc)
+        })
+        .collect();
+    assert_eq!(parallel, sequential);
+}
+
+/// Repeated submissions on one pool stay deterministic — the persistent
+/// workers carry no state across jobs.
+#[test]
+fn repeated_jobs_are_independent_and_deterministic() {
+    let pool = Pool::new(5);
+    let items: Vec<u64> = (0..300).collect();
+    let first = pool.parallel_map(&items, |x| x * x);
+    for _ in 0..20 {
+        assert_eq!(pool.parallel_map(&items, |x| x * x), first);
+    }
+}

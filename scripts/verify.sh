@@ -10,3 +10,12 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --offline
+
+# Re-run the suite at both extremes of the hermes-pool width: fully
+# inline/sequential and heavily oversubscribed (the CI box has few
+# cores). Pooled batch paths must be bit-identical to sequential at any
+# width, so both sweeps must pass with no goldens re-tuned.
+for threads in 1 16; do
+    echo "== re-running tests with HERMES_THREADS=${threads} =="
+    HERMES_THREADS="${threads}" cargo test -q --offline
+done

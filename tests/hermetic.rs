@@ -70,8 +70,8 @@ fn every_dependency_is_a_path_dependency() {
         }
     }
     assert!(
-        manifests.len() >= 14,
-        "expected the root + 13 crate manifests, found {}",
+        manifests.len() >= 15,
+        "expected the root + 14 crate manifests, found {}",
         manifests.len()
     );
 

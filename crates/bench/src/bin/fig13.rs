@@ -22,13 +22,12 @@ fn main() {
     let cfg = standard_config();
     let store = ClusteredStore::build(corpus.embeddings(), &cfg).expect("build store");
 
-    let mut accesses = vec![0usize; store.num_clusters()];
-    for q in queries.embeddings().iter_rows() {
-        let out = store.hierarchical_search(q).expect("search");
-        for &c in &out.searched_clusters {
-            accesses[c] += 1;
-        }
-    }
+    let qs: Vec<Vec<f32>> = queries
+        .embeddings()
+        .iter_rows()
+        .map(<[f32]>::to_vec)
+        .collect();
+    let accesses = store.access_histogram(&qs, 0).expect("trace");
 
     let mut table = Table::new(
         "Figure 13 — cluster size (docs) and deep-search access frequency",

@@ -8,7 +8,7 @@ use hermes_datagen::{Corpus, CorpusSpec, QuerySet, QuerySpec};
 use hermes_metrics::{Row, Table};
 use hermes_sim::{Deployment, DvfsMode, MultiNodeSim, RetrievalScheme, ServingConfig};
 
-fn measured_trace() -> Vec<f64> {
+fn measured_trace() -> Vec<usize> {
     let corpus = Corpus::generate(CorpusSpec::new(20_000, 32, 10).with_seed(BENCH_SEED));
     let queries = QuerySet::generate(
         &corpus,
@@ -17,18 +17,17 @@ fn measured_trace() -> Vec<f64> {
             .with_interest_skew(1.0),
     );
     let store = ClusteredStore::build(corpus.embeddings(), &standard_config()).expect("store");
-    let mut counts = vec![0usize; store.num_clusters()];
-    for q in queries.embeddings().iter_rows() {
-        for &c in &store.hierarchical_search(q).expect("search").searched_clusters {
-            counts[c] += 1;
-        }
-    }
-    counts.iter().map(|&c| c as f64).collect()
+    let qs: Vec<Vec<f32>> = queries
+        .embeddings()
+        .iter_rows()
+        .map(<[f32]>::to_vec)
+        .collect();
+    store.access_histogram(&qs, 0).expect("trace")
 }
 
 fn main() {
-    let freqs = measured_trace();
-    let deployment = Deployment::uniform(100_000_000_000, 10).with_access_freqs(&freqs);
+    let trace = measured_trace();
+    let deployment = Deployment::uniform(100_000_000_000, 10).with_access_counts(&trace);
     let sim = MultiNodeSim::new(deployment);
     let serving = ServingConfig::paper_default();
 

@@ -1,0 +1,462 @@
+//! The staged scatter–gather query-execution engine.
+//!
+//! Every search path in the workspace — [`ClusteredStore::route`],
+//! [`ClusteredStore::hierarchical_search`] and its batch variant,
+//! [`ClusteredStore::search_all_clusters`],
+//! [`ClusteredStore::access_histogram`], and the `hermes-rag` baseline
+//! retrievers — is a thin wrapper over one [`Engine`] executing one
+//! [`QueryPlan`]. The engine runs the paper's sample → rank → deep →
+//! rerank pipeline (Section 4.2) as three explicit stages:
+//!
+//! ```text
+//!            ┌─────────────────────────────────────────────────┐
+//!   query ──▶│ ROUTE    sample every shard (or score its       │
+//!            │          centroid), rank best-first             │
+//!            ├─────────────────────────────────────────────────┤
+//!            │ SCATTER  deep-search the top-m shards; the m    │
+//!            │          tasks fan out on hermes_pool::Pool     │
+//!            │          (intra-query parallelism)              │
+//!            ├─────────────────────────────────────────────────┤
+//!            │ GATHER   merge_topk over per-shard hits in      │
+//!            │          deterministic input order; fold the    │
+//!            │          per-stage ScanStats into SearchStats   │
+//!            └─────────────────────────────────────────────────┘
+//! ```
+//!
+//! Two levels of parallelism compose:
+//!
+//! * **Inter-query** — batch entry points steal whole queries from the
+//!   shared pool cursor (`threads` caps the width; `0` = full pool,
+//!   `1` = inline sequential).
+//! * **Intra-query** — within one query, the route stage's per-shard
+//!   samples and the scatter stage's m deep searches fan out on the same
+//!   pool ([`QueryPlan::scatter_threads`]). Inside a batch the pool's
+//!   nested-submission rule makes these inner fan-outs run inline on the
+//!   worker, so batches keep exactly one level of stealing; a single
+//!   interactive query gets the full pool to itself — the single-request
+//!   latency the paper's serving story needs.
+//!
+//! Results are **bit-identical** to the sequential pre-engine loops for
+//! every routing mode, codec and thread count: tasks write results into
+//! their input-order slot, costs are integer sums over the same scans,
+//! and the first error in input order is the one reported
+//! (`tests/engine_equivalence.rs` pins all of this property-style).
+//!
+//! Work accounting is recorded *as the stages run*: shard searches
+//! return [`hermes_index::ScanStats`] from the scan itself, so nothing
+//! re-walks a coarse quantizer after the fact (the old `probe_cost`
+//! double scan).
+
+use hermes_index::{ScanStats, SearchParams, VectorIndex};
+use hermes_math::{topk::merge_topk, Neighbor};
+
+use crate::config::{HermesConfig, Routing};
+use crate::search::{SearchOutcome, SearchPhaseCost};
+use crate::store::ClusteredStore;
+use crate::HermesError;
+
+/// Per-stage work record of one executed query, filled in by the engine
+/// while the stages run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Route-stage work: sampling probes (document-sampling routing) or
+    /// one code per cluster (centroid routing); zero when unranked.
+    pub route: SearchPhaseCost,
+    /// Scatter-stage work, summed over the deep-searched shards.
+    pub deep: SearchPhaseCost,
+    /// Codes scanned by each deep-searched shard, aligned with
+    /// `SearchOutcome::searched_clusters` — the input for per-shard
+    /// deadline and straggler analyses.
+    pub per_shard_scanned: Vec<usize>,
+    /// Candidate hits the gather stage merged into the final top-k.
+    pub gather_candidates: usize,
+}
+
+impl SearchStats {
+    /// Codes scanned across all stages — the single work number the
+    /// latency/energy models consume.
+    pub fn total_scanned_codes(&self) -> usize {
+        self.route.scanned_codes + self.deep.scanned_codes
+    }
+}
+
+/// An executable description of one search: which stages run, with which
+/// knobs — built from [`HermesConfig`] + the caller's intent, consumed by
+/// [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// How the route stage ranks clusters.
+    pub routing: Routing,
+    /// `nProbe` of the route stage's sampling searches.
+    pub sample_nprobe: usize,
+    /// `nProbe` of the scatter stage's deep searches.
+    pub deep_nprobe: usize,
+    /// How many top-ranked clusters the scatter stage deep-searches
+    /// (clamped to the store's cluster count at execution time).
+    pub clusters_to_search: usize,
+    /// Hits returned per query.
+    pub k: usize,
+    /// Intra-query fan-out cap for the route and scatter stages: `0` uses
+    /// the full shared pool, `1` runs the shards inline and sequentially,
+    /// `t > 1` uses at most `t` threads.
+    pub scatter_threads: usize,
+}
+
+impl QueryPlan {
+    /// The plan [`ClusteredStore::hierarchical_search`] executes: the
+    /// config's routing and knobs, full-pool intra-query scatter.
+    pub fn from_config(cfg: &HermesConfig) -> Self {
+        QueryPlan {
+            routing: cfg.routing,
+            sample_nprobe: cfg.sample_nprobe,
+            deep_nprobe: cfg.deep_nprobe,
+            clusters_to_search: cfg.clusters_to_search,
+            k: cfg.k,
+            scatter_threads: 0,
+        }
+    }
+
+    /// The plan [`ClusteredStore::search_all_clusters`] executes: no
+    /// routing, every cluster deep-searched in index order — the naive
+    /// distributed baseline (Figure 18).
+    pub fn exhaustive(cfg: &HermesConfig) -> Self {
+        QueryPlan {
+            routing: Routing::Unranked,
+            clusters_to_search: usize::MAX,
+            ..QueryPlan::from_config(cfg)
+        }
+    }
+
+    /// Caps the intra-query fan-out (see [`QueryPlan::scatter_threads`]).
+    pub fn with_scatter_threads(mut self, threads: usize) -> Self {
+        self.scatter_threads = threads;
+        self
+    }
+}
+
+/// Outcome of the route stage: every cluster ranked best-first, plus the
+/// work ranking them took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteOutcome {
+    /// All clusters, best first.
+    pub ranked_clusters: Vec<usize>,
+    /// Route-stage work.
+    pub cost: SearchPhaseCost,
+}
+
+/// Orders `(cluster, score)` pairs best-first: descending score, ties
+/// broken by ascending cluster id — the rank stage's deterministic
+/// tiebreak, shared by every routing mode.
+pub fn rank_by_score(mut scored: Vec<(usize, f32)>) -> Vec<usize> {
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    scored.into_iter().map(|(c, _)| c).collect()
+}
+
+/// The query-execution engine: a [`QueryPlan`] bound to a
+/// [`ClusteredStore`]. Cheap to construct (two references' worth of
+/// data); build one per call or hold one across a batch.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_core::{ClusteredStore, HermesConfig};
+/// use hermes_core::exec::{Engine, QueryPlan};
+/// use hermes_math::Mat;
+///
+/// let rows: Vec<Vec<f32>> = (0..300)
+///     .map(|i| vec![(i % 3) as f32 * 10.0, (i / 3) as f32 * 0.01])
+///     .collect();
+/// let data = Mat::from_rows(&rows);
+/// let cfg = HermesConfig::new(3).with_clusters_to_search(2);
+/// let store = ClusteredStore::build(&data, &cfg)?;
+///
+/// let engine = Engine::new(&store, QueryPlan::from_config(&cfg));
+/// let out = engine.execute(&[10.0, 0.5])?;
+/// assert_eq!(out.hits.len(), cfg.k);
+/// assert_eq!(out.searched_clusters.len(), 2);
+/// assert_eq!(out.stats.per_shard_scanned.len(), 2);
+/// # Ok::<(), hermes_core::HermesError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Engine<'s> {
+    store: &'s ClusteredStore,
+    plan: QueryPlan,
+}
+
+impl<'s> Engine<'s> {
+    /// Binds `plan` to `store`.
+    pub fn new(store: &'s ClusteredStore, plan: QueryPlan) -> Self {
+        Engine { store, plan }
+    }
+
+    /// The engine running the store's configured plan — what every
+    /// `ClusteredStore` convenience method constructs.
+    pub fn for_store(store: &'s ClusteredStore) -> Self {
+        Engine::new(store, QueryPlan::from_config(store.config()))
+    }
+
+    /// The plan this engine executes.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// **Stage 1+2 (route):** ranks every cluster for `query` without
+    /// deep-searching any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard error in cluster order.
+    pub fn route(&self, query: &[f32]) -> Result<RouteOutcome, HermesError> {
+        let store = self.store;
+        let n = store.num_clusters();
+        match self.plan.routing {
+            Routing::DocumentSampling => {
+                let params = SearchParams::new().with_nprobe(self.plan.sample_nprobe);
+                // One cheap k=1 sample per shard, fanned out like the
+                // scatter stage (samples dominate single-query latency
+                // when m is small).
+                let clusters: Vec<usize> = (0..n).collect();
+                let samples = self.fan_out(&clusters, |c| {
+                    let (hits, stats) = store.shard(c).search_with_stats(query, 1, &params)?;
+                    Ok((hits.first().map_or(f32::NEG_INFINITY, |h| h.score), stats))
+                })?;
+                let scanned = samples.iter().map(|(_, s)| s.scanned_codes).sum();
+                let scored = clusters
+                    .iter()
+                    .map(|&c| (c, samples[c].0))
+                    .collect::<Vec<_>>();
+                Ok(RouteOutcome {
+                    ranked_clusters: rank_by_score(scored),
+                    cost: SearchPhaseCost {
+                        scanned_codes: scanned,
+                        clusters_touched: n,
+                    },
+                })
+            }
+            Routing::CentroidOnly => {
+                let metric = store.config().metric;
+                let scored: Vec<(usize, f32)> = (0..n)
+                    .map(|c| (c, metric.similarity(query, store.split_centroid(c))))
+                    .collect();
+                Ok(RouteOutcome {
+                    ranked_clusters: rank_by_score(scored),
+                    cost: SearchPhaseCost {
+                        // Centroid ranking scans one vector per cluster.
+                        scanned_codes: n,
+                        clusters_touched: n,
+                    },
+                })
+            }
+            Routing::Unranked => Ok(RouteOutcome {
+                ranked_clusters: (0..n).collect(),
+                cost: SearchPhaseCost::default(),
+            }),
+        }
+    }
+
+    /// **Stage 3 (scatter):** deep-searches `shards` concurrently on the
+    /// shared pool, returning per-shard hits + scan stats in input order.
+    fn scatter(
+        &self,
+        query: &[f32],
+        shards: &[usize],
+    ) -> Result<Vec<(Vec<Neighbor>, ScanStats)>, HermesError> {
+        let params = SearchParams::new().with_nprobe(self.plan.deep_nprobe);
+        let k = self.plan.k;
+        self.fan_out(shards, |c| {
+            Ok(self.store.shard(c).search_with_stats(query, k, &params)?)
+        })
+    }
+
+    /// Runs `f` over shard ids with the plan's intra-query fan-out cap.
+    /// Inside a pool worker (i.e. within a batch) this runs inline, so
+    /// nested scatter never re-enters the pool.
+    fn fan_out<U, F>(&self, shards: &[usize], f: F) -> Result<Vec<U>, HermesError>
+    where
+        U: Send,
+        F: Fn(usize) -> Result<U, HermesError> + Sync,
+    {
+        if self.plan.scatter_threads == 1 || shards.len() <= 1 {
+            return shards.iter().map(|&c| f(c)).collect();
+        }
+        let cap = match self.plan.scatter_threads {
+            0 => usize::MAX,
+            t => t,
+        };
+        hermes_pool::Pool::global().try_parallel_map_capped(shards, cap, |&c| f(c))
+    }
+
+    /// Executes the full pipeline for one query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard error in stage order (route before
+    /// scatter) and cluster order within a stage.
+    pub fn execute(&self, query: &[f32]) -> Result<SearchOutcome, HermesError> {
+        let route = self.route(query)?;
+        let m = self.plan.clusters_to_search.min(route.ranked_clusters.len());
+        let searched: Vec<usize> = route.ranked_clusters[..m].to_vec();
+        let per_shard = self.scatter(query, &searched)?;
+
+        // Stage 4 (gather): deterministic input-order merge + stats fold.
+        let per_cluster_hits: Vec<Vec<Neighbor>> =
+            per_shard.iter().map(|(hits, _)| hits.clone()).collect();
+        let hits = merge_topk(&per_cluster_hits, self.plan.k);
+        let per_shard_scanned: Vec<usize> =
+            per_shard.iter().map(|(_, s)| s.scanned_codes).collect();
+        let stats = SearchStats {
+            route: route.cost,
+            deep: SearchPhaseCost {
+                scanned_codes: per_shard_scanned.iter().sum(),
+                clusters_touched: m,
+            },
+            gather_candidates: per_cluster_hits.iter().map(Vec::len).sum(),
+            per_shard_scanned,
+        };
+        Ok(SearchOutcome {
+            hits,
+            ranked_clusters: route.ranked_clusters,
+            searched_clusters: searched,
+            stats,
+        })
+    }
+
+    /// Executes the pipeline for a whole batch, stealing queries from the
+    /// shared pool cursor. `threads` caps the inter-query fan-out (`0` =
+    /// full pool, `1` = inline sequential). Each stolen query's own
+    /// scatter runs inline on its worker, so the two parallelism levels
+    /// compose without oversubscription.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-query error in input order.
+    pub fn execute_batch(
+        &self,
+        queries: &[Vec<f32>],
+        threads: usize,
+    ) -> Result<Vec<SearchOutcome>, HermesError> {
+        if threads == 1 || queries.len() <= 1 {
+            return queries.iter().map(|q| self.execute(q)).collect();
+        }
+        let cap = if threads == 0 { usize::MAX } else { threads };
+        hermes_pool::Pool::global().try_parallel_map_capped(queries, cap, |q| self.execute(q))
+    }
+
+    /// Executes the batch and folds each query's deep-searched clusters
+    /// into a per-cluster access count — the trace of Figures 13/18 and
+    /// the DVFS study's input. Accumulation is sequential in input order,
+    /// so counts are deterministic for any `threads`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-query error in input order.
+    pub fn access_histogram(
+        &self,
+        queries: &[Vec<f32>],
+        threads: usize,
+    ) -> Result<Vec<usize>, HermesError> {
+        let outcomes = self.execute_batch(queries, threads)?;
+        let mut counts = vec![0usize; self.store.num_clusters()];
+        for out in outcomes {
+            for c in out.searched_clusters {
+                counts[c] += 1;
+            }
+        }
+        Ok(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_datagen::{Corpus, CorpusSpec, QuerySet, QuerySpec};
+
+    fn setup() -> (Corpus, QuerySet) {
+        let corpus = Corpus::generate(CorpusSpec::new(900, 16, 6).with_seed(41));
+        let queries = QuerySet::generate(&corpus, QuerySpec::new(12).with_seed(42));
+        (corpus, queries)
+    }
+
+    #[test]
+    fn rank_by_score_orders_desc_with_id_tiebreak() {
+        let ranked = rank_by_score(vec![(0, 1.0), (1, 3.0), (2, 1.0), (3, 2.0)]);
+        assert_eq!(ranked, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn rank_by_score_handles_nan_without_panicking() {
+        let ranked = rank_by_score(vec![(0, f32::NAN), (1, 1.0), (2, f32::NAN)]);
+        assert_eq!(ranked.len(), 3);
+    }
+
+    #[test]
+    fn plan_from_config_copies_knobs() {
+        let cfg = HermesConfig::new(7)
+            .with_clusters_to_search(2)
+            .with_sample_nprobe(4)
+            .with_deep_nprobe(32)
+            .with_k(9);
+        let plan = QueryPlan::from_config(&cfg);
+        assert_eq!(plan.clusters_to_search, 2);
+        assert_eq!(plan.sample_nprobe, 4);
+        assert_eq!(plan.deep_nprobe, 32);
+        assert_eq!(plan.k, 9);
+        assert_eq!(plan.scatter_threads, 0);
+    }
+
+    #[test]
+    fn exhaustive_plan_covers_every_cluster_unranked() {
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(6).with_seed(1);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let engine = Engine::new(&store, QueryPlan::exhaustive(&cfg));
+        let out = engine.execute(queries.embeddings().row(0)).unwrap();
+        assert_eq!(out.ranked_clusters, (0..6).collect::<Vec<_>>());
+        assert_eq!(out.searched_clusters, (0..6).collect::<Vec<_>>());
+        assert_eq!(out.stats.route, SearchPhaseCost::default());
+    }
+
+    #[test]
+    fn scatter_width_does_not_change_results() {
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(6).with_seed(1).with_clusters_to_search(3);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let plan = QueryPlan::from_config(&cfg);
+        for q in queries.embeddings().iter_rows() {
+            let inline = Engine::new(&store, plan.with_scatter_threads(1))
+                .execute(q)
+                .unwrap();
+            for threads in [0usize, 2, 64] {
+                let scattered = Engine::new(&store, plan.with_scatter_threads(threads))
+                    .execute(q)
+                    .unwrap();
+                assert_eq!(inline, scattered, "scatter_threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_fold_is_consistent() {
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(6).with_seed(1).with_clusters_to_search(3);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let out = Engine::for_store(&store)
+            .execute(queries.embeddings().row(2))
+            .unwrap();
+        assert_eq!(out.stats.per_shard_scanned.len(), 3);
+        assert_eq!(
+            out.stats.deep.scanned_codes,
+            out.stats.per_shard_scanned.iter().sum::<usize>()
+        );
+        assert_eq!(out.stats.deep.clusters_touched, 3);
+        assert!(out.stats.gather_candidates >= out.hits.len());
+        assert_eq!(
+            out.stats.total_scanned_codes(),
+            out.stats.route.scanned_codes + out.stats.deep.scanned_codes
+        );
+    }
+}

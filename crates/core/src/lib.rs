@@ -15,16 +15,28 @@
 //!    (high `nProbe`).
 //! 4. **Rerank** — per-cluster results merge into the global top-k.
 //!
+//! All four steps run inside one staged query-execution engine
+//! ([`exec::Engine`]): **route** ranks the clusters, **scatter** fans the
+//! top-`m` deep searches out on the shared work-stealing pool so even a
+//! single query uses every core, and **gather** merges per-shard hits in
+//! deterministic input order while folding per-stage work into
+//! [`exec::SearchStats`]. The [`ClusteredStore`] methods (and the
+//! `hermes-rag` baselines built on them) are thin wrappers that execute a
+//! [`exec::QueryPlan`] derived from the store's [`HermesConfig`].
+//!
 //! The module split mirrors the design: [`config`] (Table 2 knobs),
-//! [`store`] (splitting + per-cluster indices), [`search`] (the
-//! hierarchical algorithm and its work accounting).
+//! [`store`] (splitting + per-cluster indices), [`exec`] (the staged
+//! engine and its work accounting), [`search`] (the store-level entry
+//! points).
 
 pub mod config;
+pub mod exec;
 pub mod persist;
 pub mod search;
 pub mod store;
 
 pub use config::{HermesConfig, Routing, SplitStrategy};
+pub use exec::{Engine, QueryPlan, RouteOutcome, SearchStats};
 pub use search::{SearchOutcome, SearchPhaseCost};
 pub use store::{ClusterInfo, ClusteredStore};
 

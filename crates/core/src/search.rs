@@ -1,24 +1,30 @@
-//! The hierarchical sample → rank → deep-search → rerank algorithm
+//! The hierarchical sample → rank → deep-search → rerank entry points
 //! (paper Section 4.2).
+//!
+//! Every method here is a thin wrapper over the staged scatter–gather
+//! engine in [`crate::exec`]: it builds the matching [`QueryPlan`] and
+//! lets one [`Engine`] run the stages. The wrappers exist so callers can
+//! keep saying `store.hierarchical_search(q)`; callers that need custom
+//! plans (different fan-out caps, exhaustive routing) construct an
+//! [`Engine`] directly.
 
-use hermes_index::{SearchParams, VectorIndex};
-use hermes_math::{topk::merge_topk, Metric, Neighbor};
+use hermes_math::Neighbor;
 
-use crate::config::Routing;
+use crate::exec::{Engine, QueryPlan, SearchStats};
 use crate::store::ClusteredStore;
 use crate::HermesError;
 
-/// Work performed by one search phase, in scanned codes — the quantity
+/// Work performed by one search stage, in scanned codes — the quantity
 /// the performance model converts to latency and joules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SearchPhaseCost {
-    /// Vector codes scored during this phase.
+    /// Vector codes scored during this stage.
     pub scanned_codes: usize,
-    /// Clusters touched during this phase.
+    /// Clusters touched during this stage.
     pub clusters_touched: usize,
 }
 
-/// Outcome of one hierarchical search.
+/// Outcome of one executed search.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchOutcome {
     /// Global top-k hits, best first.
@@ -28,108 +34,53 @@ pub struct SearchOutcome {
     /// The clusters that received a deep search (a prefix of
     /// `ranked_clusters`).
     pub searched_clusters: Vec<usize>,
-    /// Sampling-phase work.
-    pub sample_cost: SearchPhaseCost,
-    /// Deep-phase work, summed over searched clusters.
-    pub deep_cost: SearchPhaseCost,
+    /// Per-stage work record, filled in by the engine as the stages ran.
+    pub stats: SearchStats,
+}
+
+impl SearchOutcome {
+    /// Route-stage (sampling/centroid-ranking) work.
+    pub fn sample_cost(&self) -> SearchPhaseCost {
+        self.stats.route
+    }
+
+    /// Scatter-stage (deep-search) work, summed over searched clusters.
+    pub fn deep_cost(&self) -> SearchPhaseCost {
+        self.stats.deep
+    }
+
+    /// Codes scanned across all stages.
+    pub fn total_scanned_codes(&self) -> usize {
+        self.stats.total_scanned_codes()
+    }
 }
 
 impl ClusteredStore {
     /// Ranks every cluster for `query` without deep-searching any —
-    /// phase 1+2 of the hierarchical search, also used standalone for
+    /// the engine's route stage, also used standalone for
     /// access-frequency analyses (Figure 13).
     ///
-    /// Returns `(ranked_clusters, sampling_cost)`.
+    /// Returns `(ranked_clusters, routing_cost)`.
     ///
     /// # Errors
     ///
     /// Propagates index errors (dimension mismatch).
     pub fn route(&self, query: &[f32]) -> Result<(Vec<usize>, SearchPhaseCost), HermesError> {
-        let cfg = self.config();
-        match cfg.routing {
-            Routing::DocumentSampling => {
-                let params = SearchParams::new().with_nprobe(cfg.sample_nprobe);
-                let mut scored: Vec<(usize, f32)> = Vec::with_capacity(self.num_clusters());
-                let mut scanned = 0usize;
-                for c in 0..self.num_clusters() {
-                    let shard = self.shard(c);
-                    let hits = shard.search(query, 1, &params)?;
-                    scanned += shard.probe_cost(query, cfg.sample_nprobe);
-                    let score = hits.first().map_or(f32::NEG_INFINITY, |h| h.score);
-                    scored.push((c, score));
-                }
-                scored.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| a.0.cmp(&b.0))
-                });
-                Ok((
-                    scored.into_iter().map(|(c, _)| c).collect(),
-                    SearchPhaseCost {
-                        scanned_codes: scanned,
-                        clusters_touched: self.num_clusters(),
-                    },
-                ))
-            }
-            Routing::CentroidOnly => {
-                let metric = cfg.metric;
-                let mut scored: Vec<(usize, f32)> = (0..self.num_clusters())
-                    .map(|c| (c, rank_score(metric, query, self.split_centroid(c))))
-                    .collect();
-                scored.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| a.0.cmp(&b.0))
-                });
-                Ok((
-                    scored.into_iter().map(|(c, _)| c).collect(),
-                    SearchPhaseCost {
-                        // Centroid ranking scans one vector per cluster.
-                        scanned_codes: self.num_clusters(),
-                        clusters_touched: self.num_clusters(),
-                    },
-                ))
-            }
-            Routing::Unranked => Ok((
-                (0..self.num_clusters()).collect(),
-                SearchPhaseCost::default(),
-            )),
-        }
+        let out = Engine::for_store(self).route(query)?;
+        Ok((out.ranked_clusters, out.cost))
     }
 
     /// Runs the full hierarchical search for `query` using the store's
     /// configuration (sample `nProbe`, deep `nProbe`, `clusters_to_search`,
-    /// `k`).
+    /// `k`). The query's per-shard samples and deep searches fan out on
+    /// the shared pool (intra-query parallelism); results are
+    /// bit-identical to a sequential shard loop.
     ///
     /// # Errors
     ///
     /// Propagates index errors (dimension mismatch, empty shards).
     pub fn hierarchical_search(&self, query: &[f32]) -> Result<SearchOutcome, HermesError> {
-        let cfg = *self.config();
-        let (ranked, sample_cost) = self.route(query)?;
-        let m = cfg.clusters_to_search.min(ranked.len());
-        let searched: Vec<usize> = ranked[..m].to_vec();
-
-        let deep_params = SearchParams::new().with_nprobe(cfg.deep_nprobe);
-        let mut per_cluster = Vec::with_capacity(m);
-        let mut deep_scanned = 0usize;
-        for &c in &searched {
-            let shard = self.shard(c);
-            per_cluster.push(shard.search(query, cfg.k, &deep_params)?);
-            deep_scanned += shard.probe_cost(query, cfg.deep_nprobe);
-        }
-        let hits = merge_topk(&per_cluster, cfg.k);
-
-        Ok(SearchOutcome {
-            hits,
-            ranked_clusters: ranked,
-            searched_clusters: searched,
-            sample_cost,
-            deep_cost: SearchPhaseCost {
-                scanned_codes: deep_scanned,
-                clusters_touched: m,
-            },
-        })
+        Engine::for_store(self).execute(query)
     }
 
     /// Runs hierarchical searches for a whole batch on the shared
@@ -153,74 +104,40 @@ impl ClusteredStore {
         queries: &[Vec<f32>],
         threads: usize,
     ) -> Result<Vec<SearchOutcome>, HermesError> {
-        if threads == 1 || queries.len() <= 1 {
-            return queries.iter().map(|q| self.hierarchical_search(q)).collect();
-        }
-        let cap = if threads == 0 { usize::MAX } else { threads };
-        hermes_pool::Pool::global()
-            .try_parallel_map_capped(queries, cap, |q| self.hierarchical_search(q))
+        Engine::for_store(self).execute_batch(queries, threads)
     }
 
     /// Runs the routing + deep-search for every query and returns how
     /// often each cluster was deep-searched — the access-frequency trace
     /// of Figures 13/18 and the input to the DVFS study.
     ///
+    /// `threads` caps the per-query fan-out as in
+    /// [`Self::batch_hierarchical_search`] (`0` = full pool, `1` =
+    /// inline sequential); the histogram accumulation itself is always
+    /// sequential in input order, so counts are deterministic for any
+    /// setting.
+    ///
     /// # Errors
     ///
-    /// Propagates the first per-query error.
+    /// Propagates the first per-query error in input order.
     pub fn access_histogram(
         &self,
         queries: &[Vec<f32>],
+        threads: usize,
     ) -> Result<Vec<usize>, HermesError> {
-        // Per-query searches fan out on the shared pool; the histogram
-        // accumulation stays sequential in input order, so counts are
-        // deterministic for any pool width.
-        let searched: Vec<Result<Vec<usize>, HermesError>> = hermes_pool::Pool::global()
-            .parallel_map(queries, |q| {
-                self.hierarchical_search(q).map(|out| out.searched_clusters)
-            });
-        let mut counts = vec![0usize; self.num_clusters()];
-        for per_query in searched {
-            for c in per_query? {
-                counts[c] += 1;
-            }
-        }
-        Ok(counts)
+        Engine::for_store(self).access_histogram(queries, threads)
     }
 
     /// Exhaustively deep-searches *all* clusters and merges — the naive
     /// distributed baseline Hermes is compared against (Figure 18).
+    /// Equivalent to executing [`QueryPlan::exhaustive`].
     ///
     /// # Errors
     ///
     /// Propagates index errors.
     pub fn search_all_clusters(&self, query: &[f32]) -> Result<SearchOutcome, HermesError> {
-        let cfg = *self.config();
-        let deep_params = SearchParams::new().with_nprobe(cfg.deep_nprobe);
-        let mut per_cluster = Vec::with_capacity(self.num_clusters());
-        let mut deep_scanned = 0usize;
-        for c in 0..self.num_clusters() {
-            let shard = self.shard(c);
-            per_cluster.push(shard.search(query, cfg.k, &deep_params)?);
-            deep_scanned += shard.probe_cost(query, cfg.deep_nprobe);
-        }
-        let hits = merge_topk(&per_cluster, cfg.k);
-        let all: Vec<usize> = (0..self.num_clusters()).collect();
-        Ok(SearchOutcome {
-            hits,
-            ranked_clusters: all.clone(),
-            searched_clusters: all,
-            sample_cost: SearchPhaseCost::default(),
-            deep_cost: SearchPhaseCost {
-                scanned_codes: deep_scanned,
-                clusters_touched: self.num_clusters(),
-            },
-        })
+        Engine::new(self, QueryPlan::exhaustive(self.config())).execute(query)
     }
-}
-
-fn rank_score(metric: Metric, query: &[f32], centroid: &[f32]) -> f32 {
-    metric.similarity(query, centroid)
 }
 
 #[cfg(test)]
@@ -228,7 +145,7 @@ mod tests {
     use super::*;
     use crate::config::{HermesConfig, Routing, SplitStrategy};
     use hermes_datagen::{Corpus, CorpusSpec, QuerySet, QuerySpec};
-    use hermes_index::FlatIndex;
+    use hermes_index::{FlatIndex, SearchParams, VectorIndex};
     use hermes_metrics::{ndcg_at_k, ranking::ids};
     use hermes_quant::CodecSpec;
 
@@ -254,8 +171,12 @@ mod tests {
         assert_eq!(out.hits.len(), 5);
         assert_eq!(out.searched_clusters.len(), 3);
         assert_eq!(out.ranked_clusters.len(), 8);
-        assert!(out.sample_cost.scanned_codes > 0);
-        assert!(out.deep_cost.scanned_codes > out.sample_cost.scanned_codes);
+        assert!(out.sample_cost().scanned_codes > 0);
+        assert!(out.deep_cost().scanned_codes > out.sample_cost().scanned_codes);
+        assert_eq!(
+            out.total_scanned_codes(),
+            out.sample_cost().scanned_codes + out.deep_cost().scanned_codes
+        );
     }
 
     #[test]
@@ -347,6 +268,19 @@ mod tests {
     }
 
     #[test]
+    fn search_all_clusters_has_no_route_cost() {
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(8).with_seed(1);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let out = store
+            .search_all_clusters(queries.embeddings().row(0))
+            .unwrap();
+        assert_eq!(out.sample_cost(), SearchPhaseCost::default());
+        assert_eq!(out.deep_cost().clusters_touched, 8);
+        assert_eq!(out.searched_clusters, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn more_clusters_searched_never_reduces_ndcg_much() {
         let (corpus, queries) = setup();
         let mut prev = 0.0f64;
@@ -385,7 +319,7 @@ mod tests {
             .take(10)
             .map(<[f32]>::to_vec)
             .collect();
-        let hist = store.access_histogram(&qs).unwrap();
+        let hist = store.access_histogram(&qs, 0).unwrap();
         assert_eq!(hist.len(), 8);
         assert_eq!(hist.iter().sum::<usize>(), 10 * 3);
     }
@@ -461,7 +395,13 @@ mod tests {
                 expected[c] += 1;
             }
         }
-        assert_eq!(store.access_histogram(&qs).unwrap(), expected);
+        for threads in [0usize, 1, 4] {
+            assert_eq!(
+                store.access_histogram(&qs, threads).unwrap(),
+                expected,
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

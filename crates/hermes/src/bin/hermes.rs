@@ -188,7 +188,8 @@ fn cmd_search(opts: &Flags) -> Result<(), String> {
     }
     println!(
         "work: {} sampled + {} deep codes scanned",
-        out.sample_cost.scanned_codes, out.deep_cost.scanned_codes
+        out.sample_cost().scanned_codes,
+        out.deep_cost().scanned_codes
     );
     Ok(())
 }
@@ -203,7 +204,10 @@ fn cmd_eval(opts: &Flags) -> Result<(), String> {
     );
     let oracle = FlatIndex::new(corpus.embeddings().clone(), cfg.metric);
 
-    println!("strategy        mean NDCG@{}   codes/query", cfg.k);
+    println!(
+        "strategy        mean NDCG@{}   codes/query   route share",
+        cfg.k
+    );
     for kind in [
         RetrieverKind::Monolithic,
         RetrieverKind::NaiveSplit,
@@ -213,7 +217,7 @@ fn cmd_eval(opts: &Flags) -> Result<(), String> {
         let retriever =
             Retriever::build(kind, corpus.embeddings(), &cfg).map_err(|e| e.to_string())?;
         let mut ndcg_sum = 0.0;
-        let mut codes = 0usize;
+        let mut cost = CostBreakdown::new();
         for q in queries.embeddings().iter_rows() {
             let truth: Vec<u64> = oracle
                 .search(q, cfg.k, &SearchParams::new())
@@ -224,13 +228,14 @@ fn cmd_eval(opts: &Flags) -> Result<(), String> {
             let r = retriever.retrieve(q).map_err(|e| e.to_string())?;
             let ids: Vec<u64> = r.hits.iter().map(|n| n.id).collect();
             ndcg_sum += ndcg_at_k(&truth, &ids, cfg.k);
-            codes += r.scanned_codes;
+            cost.record(r.route_codes, r.scanned_codes - r.route_codes);
         }
         println!(
-            "{:<15} {:>8.3}     {:>10}",
+            "{:<15} {:>8.3}     {:>10.0}       {:>5.1}%",
             kind.to_string(),
             ndcg_sum / num_queries as f64,
-            codes / num_queries
+            cost.mean_codes_per_query(),
+            cost.route_share() * 100.0
         );
     }
     Ok(())

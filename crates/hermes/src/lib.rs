@@ -6,7 +6,7 @@
 //!
 //! | Module | Crate | Role |
 //! |---|---|---|
-//! | [`core`] | `hermes-core` | datastore disaggregation + hierarchical search (the contribution) |
+//! | [`core`] | `hermes-core` | datastore disaggregation + the scatter–gather query-execution engine (the contribution) |
 //! | [`index`] | `hermes-index` | Flat / IVF / HNSW ANN indices (FAISS substitute) |
 //! | [`quant`] | `hermes-quant` | SQ8/SQ4/PQ/OPQ codecs |
 //! | [`kmeans`] | `hermes-kmeans` | Lloyd's K-means + seed-swept splitting |
@@ -51,7 +51,9 @@ pub use hermes_sim as sim;
 
 /// The most commonly used types, importable in one line.
 pub mod prelude {
-    pub use hermes_core::{ClusteredStore, HermesConfig, Routing, SplitStrategy};
+    pub use hermes_core::{
+        ClusteredStore, Engine, HermesConfig, QueryPlan, Routing, SearchStats, SplitStrategy,
+    };
     pub use hermes_datagen::{
         ChunkStore, Corpus, CorpusSpec, DatastoreScale, QuerySet, QuerySpec,
     };
@@ -59,7 +61,7 @@ pub mod prelude {
         FlatIndex, HnswIndex, IvfIndex, SearchParams, VectorIndex,
     };
     pub use hermes_math::{Mat, Metric, Neighbor};
-    pub use hermes_metrics::{ndcg_at_k, recall_at_k, EnergyMeter};
+    pub use hermes_metrics::{ndcg_at_k, recall_at_k, CostBreakdown, EnergyMeter};
     pub use hermes_perfmodel::{
         ClusterPlanner, CpuPlatform, EncoderModel, GpuPlatform, InferenceModel, LlmModel,
         RetrievalModel,

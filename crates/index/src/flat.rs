@@ -2,7 +2,7 @@
 
 use hermes_math::{Mat, Metric, Neighbor, TopK};
 
-use crate::{IndexError, SearchParams, VectorIndex};
+use crate::{IndexError, ScanStats, SearchParams, VectorIndex};
 
 /// Brute-force exact index over raw `f32` vectors.
 ///
@@ -75,12 +75,12 @@ impl VectorIndex for FlatIndex {
         self.data.rows() * self.data.cols() * 4 + self.ids.len() * 8
     }
 
-    fn search(
+    fn search_with_stats(
         &self,
         query: &[f32],
         k: usize,
         _params: &SearchParams,
-    ) -> Result<Vec<Neighbor>, IndexError> {
+    ) -> Result<(Vec<Neighbor>, ScanStats), IndexError> {
         if query.len() != self.dim() {
             return Err(IndexError::DimensionMismatch {
                 expected: self.dim(),
@@ -96,7 +96,12 @@ impl VectorIndex for FlatIndex {
         }
         let mut out = top.into_sorted_vec();
         out.truncate(k);
-        Ok(out)
+        // A flat scan scores every stored vector, one partition total.
+        let stats = ScanStats {
+            scanned_codes: self.len(),
+            probed_partitions: 1,
+        };
+        Ok((out, stats))
     }
 }
 

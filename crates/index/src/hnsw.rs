@@ -13,7 +13,7 @@ use hermes_math::rng::seeded_rng;
 use hermes_math::{Metric, Neighbor, TopK};
 
 use crate::half::{f16_bits_to_f32, f32_to_f16_bits};
-use crate::{IndexError, SearchParams, VectorIndex};
+use crate::{IndexError, ScanStats, SearchParams, VectorIndex};
 
 /// Precision of the vectors stored alongside the graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -251,13 +251,15 @@ impl HnswIndex {
         let mut ep = entry;
 
         // Greedy descent through levels above the new node's level.
+        // Construction does not account its work; searches do.
+        let mut evals = 0usize;
         for lvl in (level + 1..=max_level).rev() {
-            ep = self.greedy_closest(v, ep, lvl);
+            ep = self.greedy_closest(v, ep, lvl, &mut evals);
         }
 
         // Insert with beam search at each shared level.
         for lvl in (0..=level.min(max_level)).rev() {
-            let found = self.search_layer(v, &[ep], self.ef_construction, lvl);
+            let found = self.search_layer(v, &[ep], self.ef_construction, lvl, &mut evals);
             let max_links = if lvl == 0 { self.m * 2 } else { self.m };
             let selected: Vec<u32> = found.iter().take(self.m).map(|n| n.id as u32).collect();
             for &nb in &selected {
@@ -278,13 +280,15 @@ impl HnswIndex {
         Ok(())
     }
 
-    fn greedy_closest(&self, query: &[f32], start: u32, level: usize) -> u32 {
+    fn greedy_closest(&self, query: &[f32], start: u32, level: usize, evals: &mut usize) -> u32 {
         let mut cur = start;
         let mut cur_sim = self.similarity(query, cur);
+        *evals += 1;
         loop {
             let mut improved = false;
             for &nb in &self.links[cur as usize][level] {
                 let s = self.similarity(query, nb);
+                *evals += 1;
                 if s > cur_sim {
                     cur_sim = s;
                     cur = nb;
@@ -299,7 +303,14 @@ impl HnswIndex {
 
     /// Beam search within one level; returns up to `ef` hits best-first
     /// with `Neighbor.id` holding *node indices* (not external ids).
-    fn search_layer(&self, query: &[f32], entries: &[u32], ef: usize, level: usize) -> Vec<Neighbor> {
+    fn search_layer(
+        &self,
+        query: &[f32],
+        entries: &[u32],
+        ef: usize,
+        level: usize,
+        evals: &mut usize,
+    ) -> Vec<Neighbor> {
         let mut visited = vec![false; self.ids.len()];
         let mut candidates: BinaryHeap<Reverse<Neighbor>> = BinaryHeap::new();
         let mut results = TopK::new(ef.max(1));
@@ -310,6 +321,7 @@ impl HnswIndex {
             }
             visited[e as usize] = true;
             let s = self.similarity(query, e);
+            *evals += 1;
             candidates.push(Reverse(Neighbor::new(e as u64, s)));
             results.push(e as u64, s);
         }
@@ -326,6 +338,7 @@ impl HnswIndex {
                 }
                 visited[nb as usize] = true;
                 let s = self.similarity(query, nb);
+                *evals += 1;
                 let admit = match results.worst_score() {
                     Some(worst) => s > worst,
                     None => true,
@@ -388,12 +401,12 @@ impl VectorIndex for HnswIndex {
         vec_bytes + link_bytes + self.ids.len() * 8 + self.levels.len()
     }
 
-    fn search(
+    fn search_with_stats(
         &self,
         query: &[f32],
         k: usize,
         params: &SearchParams,
-    ) -> Result<Vec<Neighbor>, IndexError> {
+    ) -> Result<(Vec<Neighbor>, ScanStats), IndexError> {
         if query.len() != self.dim {
             return Err(IndexError::DimensionMismatch {
                 expected: self.dim,
@@ -403,19 +416,27 @@ impl VectorIndex for HnswIndex {
         let Some(entry) = self.entry else {
             return Err(IndexError::Empty);
         };
+        let mut evals = 0usize;
+        let top_level = self.levels[entry as usize] as usize;
         let mut ep = entry;
-        for lvl in (1..=self.levels[entry as usize] as usize).rev() {
-            ep = self.greedy_closest(query, ep, lvl);
+        for lvl in (1..=top_level).rev() {
+            ep = self.greedy_closest(query, ep, lvl, &mut evals);
         }
         let ef = params.ef_search.max(k).max(1);
-        let found = self.search_layer(query, &[ep], ef, 0);
+        let found = self.search_layer(query, &[ep], ef, 0, &mut evals);
         let mut out: Vec<Neighbor> = found
             .into_iter()
             .take(k)
             .map(|n| Neighbor::new(self.ids[n.id as usize], n.score))
             .collect();
         out.sort();
-        Ok(out)
+        // Each traversed level counts as one probed partition (upper
+        // greedy layers + the base beam).
+        let stats = ScanStats {
+            scanned_codes: evals,
+            probed_partitions: top_level + 1,
+        };
+        Ok((out, stats))
     }
 }
 

@@ -10,7 +10,7 @@ use hermes_kmeans::{KMeans, KMeansConfig};
 use hermes_math::{Mat, Metric, Neighbor, TopK};
 use hermes_quant::{Codec, CodecSpec};
 
-use crate::{IndexError, SearchParams, VectorIndex};
+use crate::{IndexError, ScanStats, SearchParams, VectorIndex};
 
 #[derive(Debug, Clone, Default)]
 struct InvertedList {
@@ -381,14 +381,30 @@ impl IvfIndex {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
+    /// Estimates the work a search with `nprobe` *would* perform without
+    /// scoring any codes: the coarse quantizer is scanned once to find the
+    /// probed lists, and their lengths are summed. Use this for capacity
+    /// planning; a search that actually ran reports its exact work via
+    /// [`VectorIndex::search_with_stats`] for free.
+    pub fn probe_stats(&self, query: &[f32], nprobe: usize) -> ScanStats {
+        let probe = self
+            .coarse
+            .nearest_centroids(query, nprobe.clamp(1, self.lists.len()));
+        ScanStats {
+            scanned_codes: probe.iter().map(|&l| self.lists[l].ids.len()).sum(),
+            probed_partitions: probe.len(),
+        }
+    }
+
     /// Number of code comparisons a search with `nprobe` would perform —
     /// the work measure behind the latency/energy scaling laws.
+    #[deprecated(
+        since = "0.1.0",
+        note = "search paths get exact work from `search_with_stats` as the scan \
+                runs; for pre-search planning estimates use `probe_stats`"
+    )]
     pub fn probe_cost(&self, query: &[f32], nprobe: usize) -> usize {
-        self.coarse
-            .nearest_centroids(query, nprobe.clamp(1, self.lists.len()))
-            .iter()
-            .map(|&l| self.lists[l].ids.len())
-            .sum()
+        self.probe_stats(query, nprobe).scanned_codes
     }
 }
 
@@ -412,12 +428,12 @@ impl VectorIndex for IvfIndex {
         codes + ids + centroids
     }
 
-    fn search(
+    fn search_with_stats(
         &self,
         query: &[f32],
         k: usize,
         params: &SearchParams,
-    ) -> Result<Vec<Neighbor>, IndexError> {
+    ) -> Result<(Vec<Neighbor>, ScanStats), IndexError> {
         if query.len() != self.dim {
             return Err(IndexError::DimensionMismatch {
                 expected: self.dim,
@@ -430,6 +446,10 @@ impl VectorIndex for IvfIndex {
         let nprobe = params.nprobe.clamp(1, self.lists.len());
         let probe = self.coarse.nearest_centroids(query, nprobe);
         let code_size = self.codec.code_size();
+        let stats = ScanStats {
+            scanned_codes: probe.iter().map(|&l| self.lists[l].ids.len()).sum(),
+            probed_partitions: probe.len(),
+        };
         let mut top = TopK::new(k.max(1));
 
         if !self.residual {
@@ -481,7 +501,7 @@ impl VectorIndex for IvfIndex {
         }
         let mut out = top.into_sorted_vec();
         out.truncate(k);
-        Ok(out)
+        Ok((out, stats))
     }
 }
 
@@ -592,7 +612,7 @@ mod tests {
     }
 
     #[test]
-    fn probe_cost_counts_scanned_codes() {
+    fn probe_stats_counts_scanned_codes() {
         let data = clustered_data(200, 4, 4, 5);
         let ivf = IvfIndex::builder()
             .nlist(4)
@@ -600,9 +620,33 @@ mod tests {
             .build(&data)
             .unwrap();
         let q = data.row(0);
-        let full = ivf.probe_cost(q, 4);
-        assert_eq!(full, 200);
-        assert!(ivf.probe_cost(q, 1) < full);
+        let full = ivf.probe_stats(q, 4);
+        assert_eq!(full.scanned_codes, 200);
+        assert_eq!(full.probed_partitions, 4);
+        assert!(ivf.probe_stats(q, 1).scanned_codes < full.scanned_codes);
+        // The deprecated shim must agree with the estimate it wraps.
+        #[allow(deprecated)]
+        let shim = ivf.probe_cost(q, 4);
+        assert_eq!(shim, full.scanned_codes);
+    }
+
+    #[test]
+    fn search_stats_match_probe_estimate() {
+        // The work a search reports as it runs equals the pre-search
+        // estimate: both see the same probed lists. This is the invariant
+        // that let the engine drop the post-search `probe_cost` re-scan.
+        let data = clustered_data(500, 8, 5, 9);
+        let ivf = IvfIndex::builder()
+            .nlist(5)
+            .codec(CodecSpec::Sq8)
+            .build(&data)
+            .unwrap();
+        for nprobe in [1usize, 2, 5, 64] {
+            let params = SearchParams::new().with_nprobe(nprobe);
+            let q = data.row(3);
+            let (_, stats) = ivf.search_with_stats(q, 5, &params).unwrap();
+            assert_eq!(stats, ivf.probe_stats(q, nprobe), "nprobe={nprobe}");
+        }
     }
 
     #[test]

@@ -86,6 +86,18 @@ impl Default for SearchParams {
     }
 }
 
+/// Work performed by one search call, recorded *as the scan runs* — no
+/// separate cost pass re-walks the coarse quantizer afterwards (the
+/// `probe_cost` double scan this type replaced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanStats {
+    /// Vector codes scored against the query (distance evaluations).
+    pub scanned_codes: usize,
+    /// Partitions visited: IVF inverted lists probed, HNSW graph levels
+    /// descended (upper layers + the base beam), `1` for a flat scan.
+    pub probed_partitions: usize,
+}
+
 /// Errors returned by index construction and search.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IndexError {
@@ -139,7 +151,26 @@ pub trait VectorIndex: Send + Sync {
     /// centroids) — the quantity plotted in Figures 4 and 7.
     fn memory_bytes(&self) -> usize;
 
+    /// Returns up to `k` nearest neighbors of `query`, best first, plus
+    /// the work the scan performed ([`ScanStats`]). This is the primitive
+    /// every index implements; the stats are collected inline, so asking
+    /// for them costs nothing beyond the search itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::DimensionMismatch`] for a wrong-sized query
+    /// and [`IndexError::Empty`] when the index holds no vectors.
+    fn search_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+        params: &SearchParams,
+    ) -> Result<(Vec<Neighbor>, ScanStats), IndexError>;
+
     /// Returns up to `k` nearest neighbors of `query`, best first.
+    ///
+    /// Convenience over [`Self::search_with_stats`] for callers that do
+    /// not account work; both run the identical scan.
     ///
     /// # Errors
     ///
@@ -150,7 +181,9 @@ pub trait VectorIndex: Send + Sync {
         query: &[f32],
         k: usize,
         params: &SearchParams,
-    ) -> Result<Vec<Neighbor>, IndexError>;
+    ) -> Result<Vec<Neighbor>, IndexError> {
+        self.search_with_stats(query, k, params).map(|(hits, _)| hits)
+    }
 
     /// Searches a batch of queries on the shared work-stealing executor
     /// ([`hermes_pool::Pool::global`]): queries are stolen one at a time

@@ -1,0 +1,119 @@
+//! Scanned-code accounting across a query stream, split by execution
+//! stage.
+//!
+//! The execution engine in `hermes-core` reports per-query work as
+//! route-stage and deep-stage code counts; this accumulator folds a
+//! stream of those pairs into the totals the evaluation harness prints
+//! (codes per query, route-stage share). It lives here rather than in
+//! `hermes-core` because the metrics crate sits below core in the
+//! dependency graph — callers pass plain numbers.
+
+/// Accumulated scan work for a stream of queries.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_metrics::CostBreakdown;
+/// let mut cost = CostBreakdown::new();
+/// cost.record(100, 900);  // one query: 100 routing codes, 900 deep
+/// cost.record(120, 880);
+/// assert_eq!(cost.total_codes(), 2000);
+/// assert_eq!(cost.mean_codes_per_query(), 1000.0);
+/// assert_eq!(cost.route_share(), 0.11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostBreakdown {
+    /// Codes scanned by the route stage (sampling or centroid ranking).
+    pub route_codes: usize,
+    /// Codes scanned by deep searches.
+    pub deep_codes: usize,
+    /// Queries recorded.
+    pub queries: usize,
+}
+
+impl CostBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        CostBreakdown::default()
+    }
+
+    /// Folds one query's stage costs in.
+    pub fn record(&mut self, route_codes: usize, deep_codes: usize) {
+        self.route_codes += route_codes;
+        self.deep_codes += deep_codes;
+        self.queries += 1;
+    }
+
+    /// Codes scanned across both stages.
+    pub fn total_codes(&self) -> usize {
+        self.route_codes + self.deep_codes
+    }
+
+    /// Mean codes per recorded query (`0.0` when empty).
+    pub fn mean_codes_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.total_codes() as f64 / self.queries as f64
+        }
+    }
+
+    /// Fraction of all scanned codes spent on routing (`0.0` when no
+    /// work was recorded) — the overhead the paper argues stays small
+    /// next to the deep searches it avoids.
+    pub fn route_share(&self) -> f64 {
+        if self.total_codes() == 0 {
+            0.0
+        } else {
+            self.route_codes as f64 / self.total_codes() as f64
+        }
+    }
+
+    /// Combines another breakdown into this one (e.g. per-thread
+    /// accumulators folded at the end of a batch).
+    pub fn merge(&mut self, other: &CostBreakdown) {
+        self.route_codes += other.route_codes;
+        self.deep_codes += other.deep_codes;
+        self.queries += other.queries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_stages() {
+        let mut c = CostBreakdown::new();
+        c.record(10, 90);
+        c.record(30, 70);
+        assert_eq!(c.route_codes, 40);
+        assert_eq!(c.deep_codes, 160);
+        assert_eq!(c.queries, 2);
+        assert_eq!(c.total_codes(), 200);
+        assert_eq!(c.route_share(), 0.2);
+        assert_eq!(c.mean_codes_per_query(), 100.0);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_rates() {
+        let c = CostBreakdown::new();
+        assert_eq!(c.mean_codes_per_query(), 0.0);
+        assert_eq!(c.route_share(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_recording_everything_in_one() {
+        let mut a = CostBreakdown::new();
+        a.record(5, 45);
+        let mut b = CostBreakdown::new();
+        b.record(15, 35);
+        b.record(0, 100);
+        a.merge(&b);
+        let mut whole = CostBreakdown::new();
+        whole.record(5, 45);
+        whole.record(15, 35);
+        whole.record(0, 100);
+        assert_eq!(a, whole);
+    }
+}

@@ -7,14 +7,18 @@
 //!   accuracy bench), plus batched NDCG.
 //! * [`energy`] — joule/watt accounting mirroring the paper's RAPL/pynvml
 //!   measurements, plus throughput helpers.
+//! * [`cost`] — scanned-code accounting split by execution-engine stage
+//!   (route vs deep), folded over a query stream.
 //! * [`report`] — ASCII tables and series used by every bench binary to
 //!   print paper-vs-measured rows.
 
+pub mod cost;
 pub mod energy;
 pub mod ranking;
 pub mod report;
 pub mod truth;
 
+pub use cost::CostBreakdown;
 pub use energy::{EnergyMeter, StageEnergy};
 pub use ranking::{ndcg_at_k, overlap_at_k, recall_at_k};
 pub use report::{normalize_to_max, Row, Table};

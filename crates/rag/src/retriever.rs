@@ -37,8 +37,11 @@ impl std::fmt::Display for RetrieverKind {
 pub struct Retrieval {
     /// Top-k hits, best first.
     pub hits: Vec<Neighbor>,
-    /// Vector codes scored to produce them.
+    /// Vector codes scored to produce them, all stages included.
     pub scanned_codes: usize,
+    /// The route-stage share of `scanned_codes` (sampling or centroid
+    /// ranking; 0 for monolithic and unrouted strategies).
+    pub route_codes: usize,
     /// Clusters deep-searched (1 for monolithic).
     pub clusters_searched: usize,
 }
@@ -169,19 +172,23 @@ impl Retriever {
         match &self.backend {
             Backend::Monolithic(index) => {
                 let params = SearchParams::new().with_nprobe(self.config.deep_nprobe);
-                let hits = index.search(query, self.config.k, &params)?;
+                // The scan reports its own work — no second pass over the
+                // coarse quantizer to price it.
+                let (hits, stats) = index.search_with_stats(query, self.config.k, &params)?;
                 Ok(Retrieval {
                     hits,
-                    scanned_codes: index.probe_cost(query, self.config.deep_nprobe),
+                    scanned_codes: stats.scanned_codes,
+                    route_codes: 0,
                     clusters_searched: 1,
                 })
             }
             Backend::Clustered(store) => {
                 let out = store.hierarchical_search(query)?;
                 Ok(Retrieval {
+                    scanned_codes: out.total_scanned_codes(),
+                    route_codes: out.sample_cost().scanned_codes,
+                    clusters_searched: out.deep_cost().clusters_touched,
                     hits: out.hits,
-                    scanned_codes: out.sample_cost.scanned_codes + out.deep_cost.scanned_codes,
-                    clusters_searched: out.deep_cost.clusters_touched,
                 })
             }
         }
@@ -240,7 +247,25 @@ mod tests {
             let out = r.retrieve(queries.embeddings().row(0)).unwrap();
             assert_eq!(out.hits.len(), cfg.k, "{kind}");
             assert!(out.scanned_codes > 0, "{kind}");
+            assert!(out.route_codes <= out.scanned_codes, "{kind}");
         }
+    }
+
+    #[test]
+    fn route_codes_reflect_routing_strategy() {
+        let (corpus, queries, cfg) = setup();
+        let q = queries.embeddings().row(1);
+        let mono = Retriever::build(RetrieverKind::Monolithic, corpus.embeddings(), &cfg).unwrap();
+        assert_eq!(mono.retrieve(q).unwrap().route_codes, 0);
+        let split = Retriever::build(RetrieverKind::NaiveSplit, corpus.embeddings(), &cfg).unwrap();
+        assert_eq!(split.retrieve(q).unwrap().route_codes, 0);
+        // Centroid routing scores exactly one vector per cluster.
+        let centroid =
+            Retriever::build(RetrieverKind::CentroidRouted, corpus.embeddings(), &cfg).unwrap();
+        assert_eq!(centroid.retrieve(q).unwrap().route_codes, 8);
+        // Document sampling probes real lists, so it costs more than that.
+        let hermes = Retriever::build(RetrieverKind::Hermes, corpus.embeddings(), &cfg).unwrap();
+        assert!(hermes.retrieve(q).unwrap().route_codes > 8);
     }
 
     #[test]

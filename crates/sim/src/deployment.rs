@@ -143,6 +143,19 @@ impl Deployment {
         self
     }
 
+    /// Sets per-node access frequencies from a raw deep-search access
+    /// histogram, e.g. the output of
+    /// `ClusteredStore::access_histogram(queries, threads)` — the counts
+    /// are normalized to frequencies summing to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != nodes.len()` or the counts sum to 0.
+    pub fn with_access_counts(self, counts: &[usize]) -> Self {
+        let freqs: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        self.with_access_freqs(&freqs)
+    }
+
     /// Builds a heterogeneous fleet: each cluster gets its own platform.
     /// Clusters are matched to platforms largest-to-fastest (greedy
     /// longest-processing-time placement), so the biggest shard lands on
@@ -257,6 +270,22 @@ mod tests {
     #[should_panic(expected = "one frequency per node")]
     fn mismatched_freqs_rejected() {
         let _ = Deployment::uniform(100, 2).with_access_freqs(&[1.0]);
+    }
+
+    #[test]
+    fn with_access_counts_matches_freqs() {
+        let from_counts = Deployment::uniform(100, 3).with_access_counts(&[6, 2, 0]);
+        let from_freqs = Deployment::uniform(100, 3).with_access_freqs(&[6.0, 2.0, 0.0]);
+        for (a, b) in from_counts.nodes.iter().zip(&from_freqs.nodes) {
+            assert_eq!(a.access_freq, b.access_freq);
+        }
+        assert!((from_counts.nodes[0].access_freq - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequencies sum to zero")]
+    fn all_zero_counts_rejected() {
+        let _ = Deployment::uniform(100, 2).with_access_counts(&[0, 0]);
     }
 
     #[test]

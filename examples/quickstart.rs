@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             config.k,
             got,
             ndcg_at_k(&truth, &got, config.k),
-            out.sample_cost.scanned_codes + out.deep_cost.scanned_codes,
+            out.total_scanned_codes(),
         );
     }
 

@@ -21,13 +21,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_seed(11);
     let store = ClusteredStore::build(corpus.embeddings(), &config)?;
 
-    // Collect the deep-search access trace.
-    let mut accesses = vec![0usize; store.num_clusters()];
-    for q in queries.embeddings().iter_rows() {
-        for &c in &store.hierarchical_search(q)?.searched_clusters {
-            accesses[c] += 1;
-        }
-    }
+    // Collect the deep-search access trace (queries fan out on the pool;
+    // pass 1 instead of 0 to force a sequential run).
+    let qs: Vec<Vec<f32>> = queries
+        .embeddings()
+        .iter_rows()
+        .map(<[f32]>::to_vec)
+        .collect();
+    let accesses = store.access_histogram(&qs, 0)?;
 
     let mut table = Table::new(
         "Cluster size and access frequency (Figure 13 analogue)",
@@ -49,8 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Feed the measured trace into the DVFS study.
-    let freqs: Vec<f64> = accesses.iter().map(|&a| a as f64).collect();
-    let deployment = Deployment::uniform(100_000_000_000, 10).with_access_freqs(&freqs);
+    let deployment = Deployment::uniform(100_000_000_000, 10).with_access_counts(&accesses);
     let sim = MultiNodeSim::new(deployment);
     let serving = ServingConfig::paper_default();
     let scheme = RetrievalScheme::Hermes {

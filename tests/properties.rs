@@ -60,8 +60,8 @@ fn deep_work_is_monotone_in_clusters_searched() {
                     .with_seed(seed);
                 let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
                 let out = store.hierarchical_search(&q).unwrap();
-                prop_assert!(out.deep_cost.scanned_codes >= prev || m == 1);
-                prev = out.deep_cost.scanned_codes;
+                prop_assert!(out.deep_cost().scanned_codes >= prev || m == 1);
+                prev = out.deep_cost().scanned_codes;
                 let mut ranked = out.ranked_clusters.clone();
                 ranked.sort_unstable();
                 prop_assert_eq!(ranked, (0..5).collect::<Vec<_>>());

@@ -90,9 +90,36 @@ impl VectorIndex for FlatIndex {
         if self.is_empty() {
             return Err(IndexError::Empty);
         }
+        // Blocked scan: score BLOCK rows at a time, then let the fused
+        // compare-and-compact in `push_block` drop sub-threshold scores
+        // before they ever touch the heap. Bit-identical to the old
+        // per-row `similarity` + `push` loop.
         let mut top = TopK::new(k.max(1).min(self.len()));
-        for (i, row) in self.data.iter_rows().enumerate() {
-            top.push(self.ids[i], self.metric.similarity(query, row));
+        let dim = self.dim();
+        if dim == 0 {
+            // Degenerate zero-dim store: every row scores identically.
+            for &id in &self.ids {
+                top.push(id, self.metric.similarity(query, &[]));
+            }
+            let mut out = top.into_sorted_vec();
+            out.truncate(k);
+            return Ok((
+                out,
+                ScanStats {
+                    scanned_codes: self.len(),
+                    probed_partitions: 1,
+                },
+            ));
+        }
+        let mut scores = [0.0f32; hermes_math::block::BLOCK];
+        let data = self.data.as_slice();
+        for (chunk, ids) in data
+            .chunks(hermes_math::block::BLOCK * dim)
+            .zip(self.ids.chunks(hermes_math::block::BLOCK))
+        {
+            let out = &mut scores[..ids.len()];
+            self.metric.similarity_block(query, chunk, dim, out);
+            top.push_block(ids, out);
         }
         let mut out = top.into_sorted_vec();
         out.truncate(k);

@@ -212,6 +212,130 @@ impl HnswIndex {
         }
     }
 
+    /// Scores a gathered batch of nodes — the blocked form of
+    /// [`HnswIndex::similarity`], used by the neighbor-expansion step of
+    /// [`HnswIndex::search_layer`]. `out[i]` is bit-identical to
+    /// `self.similarity(query, nodes[i])`: the f32 path runs the register
+    /// tiles from [`hermes_math::block`], the f16 path interleaves four
+    /// copies of the sequential single-accumulator loop.
+    fn score_nodes(&self, query: &[f32], nodes: &[u32], out: &mut [f32]) {
+        debug_assert_eq!(nodes.len(), out.len());
+        let dim = self.dim;
+        let n = nodes.len();
+        let mut r = 0;
+        match self.storage {
+            VectorStorage::F32 => {
+                let row = |node: u32| {
+                    let base = node as usize * dim;
+                    &self.vectors[base..base + dim]
+                };
+                // Cosine divides by the query norm per row; hoist it once
+                // (the same op sequence the scalar kernel runs per call).
+                let na = match self.metric {
+                    Metric::Cosine => hermes_math::distance::norm(query),
+                    _ => 0.0,
+                };
+                while r + 4 <= n {
+                    let rows = [
+                        row(nodes[r]),
+                        row(nodes[r + 1]),
+                        row(nodes[r + 2]),
+                        row(nodes[r + 3]),
+                    ];
+                    let mut t = [0.0f32; 4];
+                    match self.metric {
+                        Metric::InnerProduct => {
+                            hermes_math::block::inner_product_tile4(query, rows, &mut t);
+                            out[r..r + 4].copy_from_slice(&t);
+                        }
+                        Metric::L2 => {
+                            hermes_math::block::l2_sq_tile4(query, rows, &mut t);
+                            for (o, v) in out[r..r + 4].iter_mut().zip(&t) {
+                                *o = -v;
+                            }
+                        }
+                        Metric::Cosine => {
+                            let mut sqs = [0.0f32; 4];
+                            hermes_math::block::sq_norm_tile4(rows, &mut sqs);
+                            hermes_math::block::inner_product_tile4(query, rows, &mut t);
+                            for i in 0..4 {
+                                let nb = sqs[i].sqrt();
+                                out[r + i] = if na == 0.0 || nb == 0.0 {
+                                    0.0
+                                } else {
+                                    t[i] / (na * nb)
+                                };
+                            }
+                        }
+                    }
+                    r += 4;
+                }
+            }
+            VectorStorage::F16 => {
+                let codes = |node: u32| {
+                    let base = node as usize * dim;
+                    &self.vectors_f16[base..base + dim]
+                };
+                while r + 4 <= n {
+                    let c = [
+                        codes(nodes[r]),
+                        codes(nodes[r + 1]),
+                        codes(nodes[r + 2]),
+                        codes(nodes[r + 3]),
+                    ];
+                    match self.metric {
+                        Metric::InnerProduct => {
+                            let mut acc = [0.0f32; 4];
+                            for (d, &q) in query.iter().enumerate() {
+                                for t in 0..4 {
+                                    acc[t] += q * f16_bits_to_f32(c[t][d]);
+                                }
+                            }
+                            out[r..r + 4].copy_from_slice(&acc);
+                        }
+                        Metric::L2 => {
+                            let mut acc = [0.0f32; 4];
+                            for (d, &q) in query.iter().enumerate() {
+                                for t in 0..4 {
+                                    let diff = q - f16_bits_to_f32(c[t][d]);
+                                    acc[t] += diff * diff;
+                                }
+                            }
+                            for (o, a) in out[r..r + 4].iter_mut().zip(&acc) {
+                                *o = -a;
+                            }
+                        }
+                        Metric::Cosine => {
+                            let mut dot = [0.0f32; 4];
+                            let mut vv = [0.0f32; 4];
+                            let mut qq = 0.0f32;
+                            for (d, &q) in query.iter().enumerate() {
+                                qq += q * q;
+                                for t in 0..4 {
+                                    let v = f16_bits_to_f32(c[t][d]);
+                                    dot[t] += q * v;
+                                    vv[t] += v * v;
+                                }
+                            }
+                            for t in 0..4 {
+                                out[r + t] = if qq == 0.0 || vv[t] == 0.0 {
+                                    0.0
+                                } else {
+                                    dot[t] / (qq.sqrt() * vv[t].sqrt())
+                                };
+                            }
+                        }
+                    }
+                    r += 4;
+                }
+            }
+        }
+        while r < n {
+            out[r] = self.similarity(query, nodes[r]);
+            r += 1;
+        }
+    }
+
     fn draw_level(&mut self) -> usize {
         let ml = 1.0 / (self.m as f64).ln();
         let u: f64 = self.rng_state.next_f64().max(f64::MIN_POSITIVE);
@@ -326,19 +450,32 @@ impl HnswIndex {
             results.push(e as u64, s);
         }
 
+        // Neighbor expansion splits into gather → blocked score → admit.
+        // Only the scoring is batched; visited-marking happens during the
+        // gather and the admit loop runs sequentially against the live
+        // `results.worst_score()`, so the traversal (and therefore the
+        // output and the eval count) is bit-identical to scoring one
+        // neighbor at a time.
+        let mut batch: Vec<u32> = Vec::new();
+        let mut scores: Vec<f32> = Vec::new();
         while let Some(Reverse(cand)) = candidates.pop() {
             if let Some(worst) = results.worst_score() {
                 if cand.score < worst {
                     break;
                 }
             }
+            batch.clear();
             for &nb in &self.links[cand.id as usize][level] {
                 if visited[nb as usize] {
                     continue;
                 }
                 visited[nb as usize] = true;
-                let s = self.similarity(query, nb);
-                *evals += 1;
+                batch.push(nb);
+            }
+            scores.resize(batch.len(), 0.0);
+            self.score_nodes(query, &batch, &mut scores);
+            *evals += batch.len();
+            for (&nb, &s) in batch.iter().zip(&scores) {
                 let admit = match results.worst_score() {
                     Some(worst) => s > worst,
                     None => true,

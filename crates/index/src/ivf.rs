@@ -445,7 +445,6 @@ impl VectorIndex for IvfIndex {
         }
         let nprobe = params.nprobe.clamp(1, self.lists.len());
         let probe = self.coarse.nearest_centroids(query, nprobe);
-        let code_size = self.codec.code_size();
         let stats = ScanStats {
             scanned_codes: probe.iter().map(|&l| self.lists[l].ids.len()).sum(),
             probed_partitions: probe.len(),
@@ -456,10 +455,7 @@ impl VectorIndex for IvfIndex {
             // One scorer serves every probed list.
             let scorer = self.codec.query_scorer(query, self.metric);
             for list in probe {
-                let l = &self.lists[list];
-                for (i, code) in l.codes.chunks_exact(code_size).enumerate() {
-                    top.push(l.ids[i], scorer.score(code));
-                }
+                scan_list(&mut top, &self.lists[list], &scorer, None);
             }
         } else {
             // Residual storage: scores decompose per list. Cosine reduces
@@ -484,17 +480,13 @@ impl VectorIndex for IvfIndex {
                         // ip(q, c + r) = ip(q, c) + ip(q, r).
                         let offset = hermes_math::distance::inner_product(q, centroid);
                         let scorer = self.codec.query_scorer(q, Metric::InnerProduct);
-                        for (i, code) in l.codes.chunks_exact(code_size).enumerate() {
-                            top.push(l.ids[i], offset + scorer.score(code));
-                        }
+                        scan_list(&mut top, l, &scorer, Some(offset));
                     }
                     Metric::L2 | Metric::Cosine => {
                         // -|q - (c + r)|^2 = -|(q - c) - r|^2.
                         let shifted = hermes_math::distance::sub(q, centroid);
                         let scorer = self.codec.query_scorer(&shifted, Metric::L2);
-                        for (i, code) in l.codes.chunks_exact(code_size).enumerate() {
-                            top.push(l.ids[i], scorer.score(code));
-                        }
+                        scan_list(&mut top, l, &scorer, None);
                     }
                 }
             }
@@ -502,6 +494,49 @@ impl VectorIndex for IvfIndex {
         let mut out = top.into_sorted_vec();
         out.truncate(k);
         Ok((out, stats))
+    }
+}
+
+/// Scores one inverted list in `BLOCK`-sized code chunks and feeds the
+/// fused compare-and-compact pruning in [`TopK::push_block`]. `offset`
+/// (the residual inner-product decomposition term) is added to every
+/// score; it is applied unconditionally — even an `offset` of `0.0`
+/// changes `-0.0` scores to `+0.0` — so the f32 op sequence matches the
+/// per-code `offset + scorer.score(code)` form bit for bit.
+fn scan_list(
+    top: &mut TopK,
+    list: &InvertedList,
+    scorer: &hermes_quant::QueryScorer<'_>,
+    offset: Option<f32>,
+) {
+    use hermes_math::block::BLOCK;
+    let cs = scorer.code_size();
+    if cs == 0 {
+        // Degenerate zero-dim codec: one empty code per id.
+        let mut scores = vec![0.0f32; list.ids.len()];
+        scorer.score_block(&list.codes, &mut scores);
+        if let Some(o) = offset {
+            for s in scores.iter_mut() {
+                *s = o + *s;
+            }
+        }
+        top.push_block(&list.ids, &scores);
+        return;
+    }
+    let mut scores = [0.0f32; BLOCK];
+    for (codes, ids) in list
+        .codes
+        .chunks(cs * BLOCK)
+        .zip(list.ids.chunks(BLOCK))
+    {
+        let out = &mut scores[..ids.len()];
+        scorer.score_block(codes, out);
+        if let Some(o) = offset {
+            for s in out.iter_mut() {
+                *s = o + *s;
+            }
+        }
+        top.push_block(ids, out);
     }
 }
 

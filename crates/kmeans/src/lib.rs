@@ -239,12 +239,10 @@ impl KMeans {
     /// Returns the indices of the `n` centroids closest to `v`, best first —
     /// the primitive behind IVF's `nProbe` list selection.
     pub fn nearest_centroids(&self, v: &[f32], n: usize) -> Vec<usize> {
-        let mut scored: Vec<(usize, f32)> = self
-            .centroids
-            .iter_rows()
-            .enumerate()
-            .map(|(c, row)| (c, l2_sq(row, v)))
-            .collect();
+        let k = self.centroids.rows();
+        let mut dists = vec![0.0f32; k];
+        hermes_math::block::l2_sq_block(v, self.centroids.as_slice(), self.centroids.cols(), &mut dists);
+        let mut scored: Vec<(usize, f32)> = dists.into_iter().enumerate().collect();
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         scored.truncate(n.max(1));
         scored.into_iter().map(|(c, _)| c).collect()
@@ -361,17 +359,11 @@ fn assign_sweep(data: &Mat, centroids: &Mat) -> Vec<(usize, f32)> {
         .parallel_map_index(data.rows(), |i| nearest_centroid(centroids, data.row(i)))
 }
 
+// Blocked argmin over the centroid table; `|row - v|^2` and `|v - row|^2`
+// are the same f32 bit pattern, so swapping the argument order relative to
+// the old per-row loop changes nothing downstream.
 fn nearest_centroid(centroids: &Mat, v: &[f32]) -> (usize, f32) {
-    let mut best = 0usize;
-    let mut best_d = f32::INFINITY;
-    for (c, row) in centroids.iter_rows().enumerate() {
-        let d = l2_sq(row, v);
-        if d < best_d {
-            best_d = d;
-            best = c;
-        }
-    }
-    (best, best_d)
+    hermes_math::block::nearest_row_l2(v, centroids)
 }
 
 fn farthest_point(data: &Mat, centroids: &Mat, assignments: &[u32]) -> usize {

@@ -1,0 +1,337 @@
+//! Blocked scoring kernels: one query against a contiguous block of rows.
+//!
+//! The serial inner loop of every scan path used to be one
+//! [`Metric::similarity`](crate::Metric::similarity) call per stored
+//! vector. These kernels score a whole row block per call with register
+//! tiling ([`TILE`] rows share each loaded query chunk), which is what
+//! the flat scan, the IVF inverted-list probe and the HNSW neighbour
+//! expansion now consume in chunks of [`BLOCK`].
+//!
+//! # Determinism contract
+//!
+//! Every blocked kernel performs, **per row, the exact same sequence of
+//! f32 operations as its scalar reference** (`l2_sq`, `inner_product`,
+//! `cosine`): four lane accumulators over chunks of 4, lanes summed in
+//! order, then a sequential tail. Tiling only interleaves *independent*
+//! per-row accumulations, so blocked results are bit-identical to the
+//! scalar loop — the engine-equivalence pins and recall goldens hold
+//! unchanged. `tests/properties.rs` asserts the bit equality across
+//! dims 1..=80 and all metrics.
+//!
+//! Unlike the scalar kernels (which only `debug_assert!` shapes), the
+//! blocked entry points validate dimensions with hard asserts — once
+//! per block instead of once per vector, so the checks are off the hot
+//! path *and* release builds can no longer silently truncate.
+
+use crate::distance::{cosine, inner_product, l2_sq, norm};
+use crate::matrix::Mat;
+
+/// Rows per scan chunk: scan loops score `BLOCK` rows into a stack
+/// buffer, then offer the whole buffer to the top-k selector at once.
+pub const BLOCK: usize = 16;
+
+/// Rows per register tile inside a kernel: `TILE` independent
+/// accumulator sets stay live so one loaded query chunk is reused
+/// `TILE` times.
+pub const TILE: usize = 4;
+
+#[inline(always)]
+fn chunk4(s: &[f32], b: usize) -> &[f32; 4] {
+    s[b..b + 4].try_into().expect("4-wide chunk")
+}
+
+#[track_caller]
+fn validate_block(query: &[f32], rows: &[f32], dim: usize, n: usize) {
+    assert_eq!(
+        query.len(),
+        dim,
+        "query dimension mismatch: query has {} dims, rows have {dim}",
+        query.len()
+    );
+    assert_eq!(
+        rows.len(),
+        n * dim,
+        "row block size mismatch: {} floats is not {n} rows x {dim} dims",
+        rows.len()
+    );
+}
+
+/// `a · b` for four rows at once; per row identical to
+/// [`inner_product`].
+#[inline]
+pub fn inner_product_tile4(query: &[f32], rows: [&[f32]; TILE], out: &mut [f32; TILE]) {
+    let dim = query.len();
+    let chunks = dim / 4;
+    let mut acc = [[0.0f32; 4]; TILE];
+    for c in 0..chunks {
+        let b = c * 4;
+        let q = chunk4(query, b);
+        for (t, row) in rows.iter().enumerate() {
+            let x = chunk4(row, b);
+            for lane in 0..4 {
+                acc[t][lane] += q[lane] * x[lane];
+            }
+        }
+    }
+    for (t, row) in rows.iter().enumerate() {
+        let mut sum = acc[t][0] + acc[t][1] + acc[t][2] + acc[t][3];
+        for i in chunks * 4..dim {
+            sum += query[i] * row[i];
+        }
+        out[t] = sum;
+    }
+}
+
+/// `||a - b||^2` for four rows at once; per row identical to [`l2_sq`].
+#[inline]
+pub fn l2_sq_tile4(query: &[f32], rows: [&[f32]; TILE], out: &mut [f32; TILE]) {
+    let dim = query.len();
+    let chunks = dim / 4;
+    let mut acc = [[0.0f32; 4]; TILE];
+    for c in 0..chunks {
+        let b = c * 4;
+        let q = chunk4(query, b);
+        for (t, row) in rows.iter().enumerate() {
+            let x = chunk4(row, b);
+            for lane in 0..4 {
+                let d = q[lane] - x[lane];
+                acc[t][lane] += d * d;
+            }
+        }
+    }
+    for (t, row) in rows.iter().enumerate() {
+        let mut sum = acc[t][0] + acc[t][1] + acc[t][2] + acc[t][3];
+        for i in chunks * 4..dim {
+            let d = query[i] - row[i];
+            sum += d * d;
+        }
+        out[t] = sum;
+    }
+}
+
+/// `||b||^2` for four rows at once; per row identical to
+/// `inner_product(b, b)` (the squared-norm half of [`cosine`]).
+#[inline]
+pub fn sq_norm_tile4(rows: [&[f32]; TILE], out: &mut [f32; TILE]) {
+    let dim = rows[0].len();
+    let chunks = dim / 4;
+    let mut acc = [[0.0f32; 4]; TILE];
+    for c in 0..chunks {
+        let b = c * 4;
+        for (t, row) in rows.iter().enumerate() {
+            let x = chunk4(row, b);
+            for lane in 0..4 {
+                acc[t][lane] += x[lane] * x[lane];
+            }
+        }
+    }
+    for (t, row) in rows.iter().enumerate() {
+        let mut sum = acc[t][0] + acc[t][1] + acc[t][2] + acc[t][3];
+        for i in chunks * 4..dim {
+            sum += row[i] * row[i];
+        }
+        out[t] = sum;
+    }
+}
+
+#[inline(always)]
+fn tile_rows(rows: &[f32], dim: usize, r: usize) -> [&[f32]; TILE] {
+    let b = r * dim;
+    [
+        &rows[b..b + dim],
+        &rows[b + dim..b + 2 * dim],
+        &rows[b + 2 * dim..b + 3 * dim],
+        &rows[b + 3 * dim..b + 4 * dim],
+    ]
+}
+
+/// Dot product of `query` against each row of a contiguous row-major
+/// block; `out[i]` is bit-identical to `inner_product(query, row_i)`.
+///
+/// # Panics
+///
+/// Panics if `query.len() != dim` or `rows.len() != out.len() * dim`.
+pub fn inner_product_block(query: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    validate_block(query, rows, dim, out.len());
+    let n = out.len();
+    let mut t4 = [0.0f32; TILE];
+    let mut r = 0;
+    while r + TILE <= n {
+        inner_product_tile4(query, tile_rows(rows, dim, r), &mut t4);
+        out[r..r + TILE].copy_from_slice(&t4);
+        r += TILE;
+    }
+    while r < n {
+        out[r] = inner_product(query, &rows[r * dim..(r + 1) * dim]);
+        r += 1;
+    }
+}
+
+/// Squared Euclidean distance of `query` to each row of a contiguous
+/// block; `out[i]` is bit-identical to `l2_sq(query, row_i)`.
+///
+/// # Panics
+///
+/// Panics if `query.len() != dim` or `rows.len() != out.len() * dim`.
+pub fn l2_sq_block(query: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    validate_block(query, rows, dim, out.len());
+    let n = out.len();
+    let mut t4 = [0.0f32; TILE];
+    let mut r = 0;
+    while r + TILE <= n {
+        l2_sq_tile4(query, tile_rows(rows, dim, r), &mut t4);
+        out[r..r + TILE].copy_from_slice(&t4);
+        r += TILE;
+    }
+    while r < n {
+        out[r] = l2_sq(query, &rows[r * dim..(r + 1) * dim]);
+        r += 1;
+    }
+}
+
+/// Cosine similarity of `query` to each row of a contiguous block;
+/// `out[i]` is bit-identical to `cosine(query, row_i)` (including the
+/// zero-vector → `0.0` convention). The query norm is computed once per
+/// block instead of once per row.
+///
+/// # Panics
+///
+/// Panics if `query.len() != dim` or `rows.len() != out.len() * dim`.
+pub fn cosine_block(query: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    validate_block(query, rows, dim, out.len());
+    let na = norm(query);
+    let n = out.len();
+    let mut ips = [0.0f32; TILE];
+    let mut sqs = [0.0f32; TILE];
+    let mut r = 0;
+    while r + TILE <= n {
+        let tile = tile_rows(rows, dim, r);
+        inner_product_tile4(query, tile, &mut ips);
+        sq_norm_tile4(tile, &mut sqs);
+        for t in 0..TILE {
+            let nb = sqs[t].sqrt();
+            out[r + t] = if na == 0.0 || nb == 0.0 {
+                0.0
+            } else {
+                ips[t] / (na * nb)
+            };
+        }
+        r += TILE;
+    }
+    while r < n {
+        out[r] = cosine(query, &rows[r * dim..(r + 1) * dim]);
+        r += 1;
+    }
+}
+
+/// Index and squared distance of the row of `rows` nearest to `query`
+/// under L2 — the blocked argmin behind K-means assignment, IVF coarse
+/// probing and PQ subspace encoding. First index wins ties, matching
+/// the scalar `d < best` loop it replaces. Returns `(0, +inf)` for an
+/// empty matrix.
+///
+/// # Panics
+///
+/// Panics if `query.len() != rows.cols()`.
+pub fn nearest_row_l2(query: &[f32], rows: &Mat) -> (usize, f32) {
+    let dim = rows.cols();
+    let data = rows.as_slice();
+    let n = rows.rows();
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    let mut buf = [0.0f32; BLOCK];
+    let mut base = 0;
+    while base < n {
+        let bn = BLOCK.min(n - base);
+        l2_sq_block(query, &data[base * dim..(base + bn) * dim], dim, &mut buf[..bn]);
+        for (j, &d) in buf[..bn].iter().enumerate() {
+            if d < best_d {
+                best_d = d;
+                best = base + j;
+            }
+        }
+        base += bn;
+    }
+    (best, best_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn random_block(n: usize, dim: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let mut rng = seeded_rng(seed);
+        let query: Vec<f32> = (0..dim).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+        let rows: Vec<f32> = (0..n * dim).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+        (query, rows)
+    }
+
+    #[test]
+    fn blocked_kernels_are_bit_identical_to_scalar() {
+        for dim in [1usize, 3, 4, 7, 8, 17, 33, 64] {
+            // 11 rows: two full tiles plus a 3-row remainder.
+            let (query, rows) = random_block(11, dim, dim as u64);
+            let mut out = vec![0.0f32; 11];
+            inner_product_block(&query, &rows, dim, &mut out);
+            for (i, o) in out.iter().enumerate() {
+                let want = inner_product(&query, &rows[i * dim..(i + 1) * dim]);
+                assert_eq!(o.to_bits(), want.to_bits(), "ip dim {dim} row {i}");
+            }
+            l2_sq_block(&query, &rows, dim, &mut out);
+            for (i, o) in out.iter().enumerate() {
+                let want = l2_sq(&query, &rows[i * dim..(i + 1) * dim]);
+                assert_eq!(o.to_bits(), want.to_bits(), "l2 dim {dim} row {i}");
+            }
+            cosine_block(&query, &rows, dim, &mut out);
+            for (i, o) in out.iter().enumerate() {
+                let want = cosine(&query, &rows[i * dim..(i + 1) * dim]);
+                assert_eq!(o.to_bits(), want.to_bits(), "cos dim {dim} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_block_preserves_zero_vector_convention() {
+        let query = vec![0.0f32; 4];
+        let rows = vec![1.0f32; 8];
+        let mut out = [7.0f32; 2];
+        cosine_block(&query, &rows, 4, &mut out);
+        assert_eq!(out, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn nearest_row_matches_scalar_argmin() {
+        let (query, rows) = random_block(37, 6, 9);
+        let mat = Mat::from_flat(37, 6, rows);
+        let (best, best_d) = nearest_row_l2(&query, &mat);
+        let want = mat
+            .iter_rows()
+            .enumerate()
+            .min_by(|a, b| l2_sq(a.1, &query).partial_cmp(&l2_sq(b.1, &query)).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, want);
+        assert_eq!(best_d.to_bits(), l2_sq(&query, mat.row(best)).to_bits());
+    }
+
+    #[test]
+    fn nearest_row_of_empty_matrix_is_sentinel() {
+        let m = Mat::zeros(0, 4);
+        assert_eq!(nearest_row_l2(&[0.0; 4], &m), (0, f32::INFINITY));
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimension mismatch")]
+    fn blocked_entry_rejects_bad_query_len_in_release_too() {
+        let mut out = [0.0f32; 1];
+        inner_product_block(&[1.0, 2.0], &[1.0, 2.0, 3.0], 3, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "row block size mismatch")]
+    fn blocked_entry_rejects_ragged_row_block() {
+        let mut out = [0.0f32; 2];
+        l2_sq_block(&[1.0, 2.0], &[1.0, 2.0, 3.0], 2, &mut out);
+    }
+}

@@ -33,16 +33,41 @@ impl Metric {
     ///
     /// # Panics
     ///
-    /// Panics if `a` and `b` have different lengths (debug builds only; in
-    /// release the shorter length is used, which is never correct, so the
-    /// debug assertion is kept hot in tests).
+    /// Panics if `a` and `b` have different lengths — in release builds
+    /// too. This used to be a `debug_assert!` that silently truncated to
+    /// the shorter slice in release; hot scan loops now go through
+    /// [`Metric::similarity_block`], which validates once per block, so
+    /// the per-call check here is off every fast path.
     #[inline]
     pub fn similarity(self, a: &[f32], b: &[f32]) -> f32 {
-        debug_assert_eq!(a.len(), b.len(), "dimension mismatch");
+        assert_eq!(a.len(), b.len(), "dimension mismatch");
         match self {
             Metric::L2 => -l2_sq(a, b),
             Metric::InnerProduct => inner_product(a, b),
             Metric::Cosine => cosine(a, b),
+        }
+    }
+
+    /// Similarity of `query` against each row of a contiguous row-major
+    /// block — the blocked form of [`Metric::similarity`], dispatching to
+    /// the [`crate::block`] kernels. `out[i]` is bit-identical to
+    /// `self.similarity(query, row_i)`; dimensions are validated once per
+    /// block instead of once per vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != dim` or `rows.len() != out.len() * dim`.
+    #[inline]
+    pub fn similarity_block(self, query: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+        match self {
+            Metric::L2 => {
+                crate::block::l2_sq_block(query, rows, dim, out);
+                for o in out.iter_mut() {
+                    *o = -*o;
+                }
+            }
+            Metric::InnerProduct => crate::block::inner_product_block(query, rows, dim, out),
+            Metric::Cosine => crate::block::cosine_block(query, rows, dim, out),
         }
     }
 
@@ -240,6 +265,26 @@ mod tests {
     #[test]
     fn sub_subtracts_elementwise() {
         assert_eq!(sub(&[3.0, 5.0], &[1.0, 2.0]), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn similarity_rejects_length_mismatch_even_in_release() {
+        let _ = Metric::InnerProduct.similarity(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn similarity_block_matches_similarity_for_all_metrics() {
+        let query = [0.5f32, -1.0, 2.0, 0.25, -0.125];
+        let rows = [1.0f32, 2.0, 3.0, 4.0, 5.0, -1.0, 0.0, 1.0, 0.5, 2.5];
+        let mut out = [0.0f32; 2];
+        for metric in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
+            metric.similarity_block(&query, &rows, 5, &mut out);
+            for (i, o) in out.iter().enumerate() {
+                let want = metric.similarity(&query, &rows[i * 5..(i + 1) * 5]);
+                assert_eq!(o.to_bits(), want.to_bits(), "{metric} row {i}");
+            }
+        }
     }
 
     #[test]

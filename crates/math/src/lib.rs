@@ -5,6 +5,8 @@
 //!
 //! * [`distance`] — distance/similarity kernels ([`Metric`]) used by the
 //!   flat, IVF and HNSW indices,
+//! * [`block`] — blocked query-vs-row-block kernels with register tiling,
+//!   bit-identical to the scalar kernels (the hot scan-loop form),
 //! * [`topk`] — bounded best-k selection ([`topk::TopK`]),
 //! * [`matrix`] — a minimal row-major matrix ([`matrix::Mat`]) used for OPQ
 //!   rotations and K-means centroid tables,
@@ -26,6 +28,7 @@
 //! assert_eq!(best.into_sorted_vec()[0].id, 0);
 //! ```
 
+pub mod block;
 pub mod distance;
 pub mod matrix;
 pub mod rng;

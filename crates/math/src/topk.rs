@@ -8,6 +8,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::block::BLOCK;
+
 /// A scored search hit: a document id plus its similarity to the query
 /// (greater = closer; see [`crate::Metric`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,6 +85,8 @@ impl TopK {
         assert!(k > 0, "TopK capacity must be positive");
         TopK {
             k,
+            // Pre-sized to its maximum occupancy (`k`, plus one slot of
+            // slack) so no push ever reallocates mid-scan.
             heap: BinaryHeap::with_capacity(k + 1),
         }
     }
@@ -111,6 +115,55 @@ impl TopK {
             None
         } else {
             self.heap.peek().map(|n| n.score)
+        }
+    }
+
+    /// The pruning bound for fused block scans, as a plain `f32`:
+    /// the current worst retained score once `k` items are held,
+    /// `f32::NEG_INFINITY` while still filling (everything is admitted),
+    /// and NaN if the heap is full of NaN scores (in which case pruning
+    /// must be disabled — any real score displaces a NaN).
+    ///
+    /// Callers prune with `!(score < threshold)` rather than
+    /// `score >= threshold`: the negated form admits NaN candidates and
+    /// everything at `NEG_INFINITY`, so [`TopK::push`] stays the single
+    /// arbiter of ties, NaN ordering and id-based eviction.
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::NEG_INFINITY
+        } else {
+            self.heap.peek().map_or(f32::NEG_INFINITY, |n| n.score)
+        }
+    }
+
+    /// Offers a block of scored candidates, skipping heap traffic for
+    /// candidates that cannot beat [`TopK::threshold`].
+    ///
+    /// Survivors of each [`BLOCK`]-sized chunk are selected with a
+    /// branchless compare-and-compact pass, then pushed in input order —
+    /// the result is bit-identical to calling [`TopK::push`] on every
+    /// `(id, score)` pair, but the common full-heap case touches the
+    /// heap 0–1 times per chunk instead of [`BLOCK`] times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len() != scores.len()`.
+    pub fn push_block(&mut self, ids: &[u64], scores: &[f32]) {
+        assert_eq!(ids.len(), scores.len(), "one id per score required");
+        for (idc, sc) in ids.chunks(BLOCK).zip(scores.chunks(BLOCK)) {
+            // The threshold only rises as pushes land, so a bound taken
+            // at the top of the chunk never over-prunes.
+            let t = self.threshold();
+            let mut keep = [0u8; BLOCK];
+            let mut n = 0usize;
+            for (j, &s) in sc.iter().enumerate() {
+                keep[n] = j as u8;
+                n += usize::from(!(s < t));
+            }
+            for &j in &keep[..n] {
+                self.push(idc[j as usize], sc[j as usize]);
+            }
         }
     }
 
@@ -224,6 +277,78 @@ mod tests {
         t.push(2, f32::NAN);
         let ids: Vec<u64> = t.into_sorted_vec().iter().map(|n| n.id).collect();
         assert_eq!(ids, vec![1, 0]);
+    }
+
+    #[test]
+    fn threshold_is_neg_infinity_while_empty_or_filling() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), f32::NEG_INFINITY);
+        t.push(0, 1.0);
+        assert_eq!(t.threshold(), f32::NEG_INFINITY);
+        t.push(1, 2.0);
+        assert_eq!(t.threshold(), 1.0);
+        t.push(2, 3.0);
+        assert_eq!(t.threshold(), 2.0);
+    }
+
+    #[test]
+    fn threshold_is_nan_when_full_of_nans_and_pruning_stays_safe() {
+        let mut t = TopK::new(2);
+        t.push_block(&[0, 1], &[f32::NAN, f32::NAN]);
+        assert!(t.threshold().is_nan());
+        // `!(s < NaN)` is true for every s, so real scores still get
+        // through the compact pass and displace the NaNs.
+        t.push_block(&[2, 3], &[0.5, 0.25]);
+        let ids: Vec<u64> = t.into_sorted_vec().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn push_block_is_bit_identical_to_sequential_push() {
+        // Ties, NaNs, multi-chunk blocks: the fused path must retain the
+        // exact same set as pushing one by one.
+        let scores: Vec<f32> = (0..40)
+            .map(|i| {
+                if i % 7 == 3 {
+                    f32::NAN
+                } else {
+                    ((i * 13) % 9) as f32 / 3.0
+                }
+            })
+            .collect();
+        let ids: Vec<u64> = (0..40).collect();
+        for k in [1usize, 3, 8, 40] {
+            let mut seq = TopK::new(k);
+            for (&id, &s) in ids.iter().zip(&scores) {
+                seq.push(id, s);
+            }
+            let mut blk = TopK::new(k);
+            blk.push_block(&ids, &scores);
+            let a = seq.into_sorted_vec();
+            let b = blk.into_sorted_vec();
+            assert_eq!(a.len(), b.len(), "k={k}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id, "k={k}");
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn push_block_skips_subthreshold_candidates_without_heap_traffic() {
+        let mut t = TopK::new(2);
+        t.push_block(&[0, 1], &[5.0, 6.0]);
+        // All below the worst retained score: nothing changes.
+        t.push_block(&[2, 3, 4], &[1.0, 2.0, 3.0]);
+        let ids: Vec<u64> = t.into_sorted_vec().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one id per score")]
+    fn push_block_rejects_mismatched_lengths() {
+        let mut t = TopK::new(2);
+        t.push_block(&[0, 1], &[1.0]);
     }
 
     #[test]

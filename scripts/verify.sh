@@ -19,3 +19,10 @@ for threads in 1 16; do
     echo "== re-running tests with HERMES_THREADS=${threads} =="
     HERMES_THREADS="${threads}" cargo test -q --offline
 done
+
+# Release-mode smoke run of the blocked-kernel microbench: asserts the
+# scalar, blocked and fused scan variants return bit-identical top-k
+# lists under the real optimizer flags (the suites above run the same
+# checks, but only at test opt levels).
+echo "== ext_kernels smoke (release) =="
+HERMES_SMOKE=1 cargo run -p hermes-bench --release --offline --quiet --bin ext_kernels

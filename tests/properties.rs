@@ -200,6 +200,86 @@ fn metrics_stay_in_unit_interval() {
     );
 }
 
+/// The blocked scoring kernels return exactly the same bits as the
+/// scalar kernels for every metric, at every dimension from 1 to 80 —
+/// odd tails, partial tiles and partial blocks included. This is the
+/// contract that lets every scan path switch to blocks without moving
+/// a single search result.
+#[test]
+fn blocked_kernels_are_bit_identical_to_scalar() {
+    let strat = tuple2(u64_in(0..50), usize_in(1..81));
+    check_with(
+        "blocked_kernels_are_bit_identical_to_scalar",
+        &cfg(),
+        &strat,
+        |&(seed, dim)| {
+            let mut rng = hermes::math::rng::seeded_rng(seed);
+            // 13 rows: not a multiple of the tile (4) or block (16) width.
+            let n = 13usize;
+            let query: Vec<f32> = (0..dim).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+            let rows: Vec<f32> = (0..n * dim).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+            let mut out = vec![0.0f32; n];
+            for metric in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
+                metric.similarity_block(&query, &rows, dim, &mut out);
+                for (i, got) in out.iter().enumerate() {
+                    let want = metric.similarity(&query, &rows[i * dim..(i + 1) * dim]);
+                    prop_assert!(
+                        got.to_bits() == want.to_bits(),
+                        "{} dim {} row {}: {} vs {}",
+                        metric,
+                        dim,
+                        i,
+                        got,
+                        want
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// `QueryScorer::score_block` agrees bit-for-bit with per-code
+/// `QueryScorer::score` for every codec family and metric.
+#[test]
+fn scorer_block_matches_per_code_scoring() {
+    check_with(
+        "scorer_block_matches_per_code_scoring",
+        &cfg(),
+        &u64_in(0..30),
+        |&seed| {
+            let corpus = small_corpus(seed, 120, 3);
+            for spec in [CodecSpec::Flat, CodecSpec::Sq8, CodecSpec::Sq4, CodecSpec::Pq { m: 2 }] {
+                let codec = Codec::train(spec, corpus.embeddings(), seed);
+                let mut codes = Vec::new();
+                for row in corpus.embeddings().iter_rows() {
+                    codec.encode_into(row, &mut codes);
+                }
+                let query = corpus.embeddings().row(1);
+                for metric in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
+                    let scorer = codec.query_scorer(query, metric);
+                    let cs = scorer.code_size();
+                    let mut out = vec![0.0f32; corpus.embeddings().rows()];
+                    scorer.score_block(&codes, &mut out);
+                    for (i, got) in out.iter().enumerate() {
+                        let want = scorer.score(&codes[i * cs..(i + 1) * cs]);
+                        prop_assert!(
+                            got.to_bits() == want.to_bits(),
+                            "{} {} code {}: {} vs {}",
+                            spec,
+                            metric,
+                            i,
+                            got,
+                            want
+                        );
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
 /// Codec round-trips preserve dimensionality and stay finite.
 #[test]
 fn codec_round_trip_shape() {

@@ -1,0 +1,150 @@
+//! Extension experiment: cost of the runtime telemetry layer on the
+//! flat-scan search path.
+//!
+//! `hermes-trace`'s design budget says a *disabled* instrumentation site
+//! costs one relaxed atomic load — so routing every search through the
+//! instrumented `VectorIndex::search` wrapper (which records an
+//! `index.scanned_codes` counter when enabled) must be measurably free
+//! when telemetry is off. Three variants over the same single-thread
+//! flat scans:
+//!
+//! * `bare`     — `search_with_stats` directly: no telemetry branch at
+//!   all, the floor.
+//! * `disabled` — the instrumented `search` wrapper with telemetry off:
+//!   the is-enabled branch only. The acceptance budget is <= 2%
+//!   overhead vs `bare`.
+//! * `enabled`  — the same wrapper recording into the thread ring, for
+//!   context (this one is allowed to cost something).
+//!
+//! All variants must return bit-identical hits; the bench asserts it.
+//! Timing is reported, not asserted — wall-clock thresholds flake on
+//! loaded machines, so `scripts/verify.sh` runs this in smoke mode for
+//! the correctness checks and EXPERIMENTS.md records the measured
+//! overhead from a quiet full run.
+//!
+//! Set `HERMES_SMOKE=1` for a seconds-scale pass.
+
+use hermes_bench::{emit, time_it, BENCH_SEED};
+use hermes_index::{FlatIndex, SearchParams, VectorIndex};
+use hermes_math::rng::seeded_rng;
+use hermes_math::{Mat, Metric};
+use hermes_metrics::{Row, Table};
+
+const K: usize = 10;
+
+fn smoke() -> bool {
+    std::env::var("HERMES_SMOKE").map(|v| v != "0").unwrap_or(false)
+}
+
+fn random_mat(rows: usize, dim: usize, seed: u64) -> Mat {
+    let mut rng = seeded_rng(seed);
+    let data: Vec<Vec<f32>> = (0..rows)
+        .map(|_| (0..dim).map(|_| rng.next_f32() * 2.0 - 1.0).collect())
+        .collect();
+    Mat::from_rows(&data)
+}
+
+/// Fastest of `reps` full query sweeps, in seconds.
+fn best_time(reps: usize, mut sweep: impl FnMut()) -> f64 {
+    sweep(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let ((), secs) = time_it(&mut sweep);
+        best = best.min(secs);
+    }
+    best
+}
+
+fn main() {
+    let (rows, dim, queries, reps) = if smoke() {
+        (2_048, 64, 8, 2)
+    } else {
+        (16_384, 64, 32, 7)
+    };
+    let index = FlatIndex::new(random_mat(rows, dim, BENCH_SEED + 90), Metric::InnerProduct);
+    let qs = random_mat(queries, dim, BENCH_SEED + 91);
+    let params = SearchParams::new();
+
+    // Start from a clean, quiescent telemetry state.
+    hermes_trace::disable();
+    hermes_trace::clear();
+
+    // Correctness first: all three variants agree bit for bit.
+    for q in qs.iter_rows() {
+        let bare = index.search_with_stats(q, K, &params).unwrap().0;
+        let disabled = index.search(q, K, &params).unwrap();
+        hermes_trace::enable();
+        let enabled = index.search(q, K, &params).unwrap();
+        hermes_trace::disable();
+        assert_eq!(bare, disabled, "disabled telemetry changed results");
+        assert_eq!(bare, enabled, "enabled telemetry changed results");
+    }
+    hermes_trace::clear();
+
+    let t_bare = best_time(reps, || {
+        for q in qs.iter_rows() {
+            std::hint::black_box(index.search_with_stats(q, K, &params).unwrap());
+        }
+    });
+    let t_disabled = best_time(reps, || {
+        for q in qs.iter_rows() {
+            std::hint::black_box(index.search(q, K, &params).unwrap());
+        }
+    });
+    hermes_trace::enable();
+    let t_enabled = best_time(reps, || {
+        for q in qs.iter_rows() {
+            std::hint::black_box(index.search(q, K, &params).unwrap());
+        }
+    });
+    hermes_trace::disable();
+    let snap = hermes_trace::snapshot();
+    let recorded = snap.counters().get("index.scanned_codes").map_or(0, |c| c.samples);
+    assert!(
+        recorded >= queries as u64,
+        "enabled runs must have recorded counter samples (got {recorded})"
+    );
+
+    let overhead_disabled = (t_disabled / t_bare - 1.0) * 100.0;
+    let overhead_enabled = (t_enabled / t_bare - 1.0) * 100.0;
+    let mut table = Table::new(
+        format!(
+            "Extension — telemetry overhead, single-thread flat scan \
+             ({rows} rows x {dim} dims, {queries} queries, best of {reps}, k={K})"
+        ),
+        &["variant", "time (ms)", "overhead vs bare", "budget"],
+    );
+    table.push(Row::new(
+        "bare search_with_stats",
+        vec![format!("{:.2}", t_bare * 1e3), "—".into(), "—".into()],
+    ));
+    table.push(Row::new(
+        "instrumented, disabled",
+        vec![
+            format!("{:.2}", t_disabled * 1e3),
+            format!("{overhead_disabled:+.2}%"),
+            "<= 2%".into(),
+        ],
+    ));
+    table.push(Row::new(
+        "instrumented, enabled",
+        vec![
+            format!("{:.2}", t_enabled * 1e3),
+            format!("{overhead_enabled:+.2}%"),
+            "n/a".into(),
+        ],
+    ));
+
+    if smoke() {
+        println!("{}", table.render());
+        println!("(smoke mode: bench_results/ext_trace_overhead.md left untouched)\n");
+    } else {
+        emit("ext_trace_overhead", &table);
+    }
+    println!(
+        "hits were bit-identical across bare/disabled/enabled; the disabled\n\
+         variant's only extra work is one relaxed atomic load per query, so\n\
+         measured overhead above the 2% budget indicates a perturbed machine\n\
+         rather than a telemetry regression."
+    );
+}

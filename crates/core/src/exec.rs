@@ -46,6 +46,13 @@
 //! return [`hermes_index::ScanStats`] from the scan itself, so nothing
 //! re-walks a coarse quantizer after the fact (the old `probe_cost`
 //! double scan).
+//!
+//! When runtime telemetry is on (`hermes_trace::enable`), each stage
+//! additionally records a span — `engine.execute` ▸ `engine.route` /
+//! `engine.scatter` / `engine.gather`, plus per-shard `shard.sample` and
+//! `shard.deep` spans on whichever pool worker stole the shard — whose
+//! args carry the same scanned-code counts as [`SearchStats`]. Disabled,
+//! every site is a single relaxed atomic load.
 
 use hermes_index::{ScanStats, SearchParams, VectorIndex};
 use hermes_math::{topk::merge_topk, Neighbor};
@@ -205,12 +212,21 @@ impl<'s> Engine<'s> {
     }
 
     /// **Stage 1+2 (route):** ranks every cluster for `query` without
-    /// deep-searching any.
+    /// deep-searching any. Records an `engine.route` span (args:
+    /// `scanned_codes`, `clusters`) when telemetry is enabled.
     ///
     /// # Errors
     ///
     /// Propagates the first shard error in cluster order.
     pub fn route(&self, query: &[f32]) -> Result<RouteOutcome, HermesError> {
+        let mut sp = hermes_trace::span("engine.route");
+        let out = self.route_stage(query)?;
+        sp.arg("scanned_codes", out.cost.scanned_codes as u64);
+        sp.arg("clusters", out.cost.clusters_touched as u64);
+        Ok(out)
+    }
+
+    fn route_stage(&self, query: &[f32]) -> Result<RouteOutcome, HermesError> {
         let store = self.store;
         let n = store.num_clusters();
         match self.plan.routing {
@@ -221,7 +237,9 @@ impl<'s> Engine<'s> {
                 // when m is small).
                 let clusters: Vec<usize> = (0..n).collect();
                 let samples = self.fan_out(&clusters, |c| {
+                    let mut sp = hermes_trace::span_with("shard.sample", &[("cluster", c as u64)]);
                     let (hits, stats) = store.shard(c).search_with_stats(query, 1, &params)?;
+                    sp.arg("scanned_codes", stats.scanned_codes as u64);
                     Ok((hits.first().map_or(f32::NEG_INFINITY, |h| h.score), stats))
                 })?;
                 let scanned = samples.iter().map(|(_, s)| s.scanned_codes).sum();
@@ -260,6 +278,10 @@ impl<'s> Engine<'s> {
 
     /// **Stage 3 (scatter):** deep-searches `shards` concurrently on the
     /// shared pool, returning per-shard hits + scan stats in input order.
+    /// Records an `engine.scatter` span (args: `shards`, `scanned_codes`)
+    /// plus one `shard.deep` span per deep search — the latter land on the
+    /// worker thread that stole the shard, so a Perfetto view shows the
+    /// scatter fan-out shape directly.
     fn scatter(
         &self,
         query: &[f32],
@@ -267,9 +289,18 @@ impl<'s> Engine<'s> {
     ) -> Result<Vec<(Vec<Neighbor>, ScanStats)>, HermesError> {
         let params = SearchParams::new().with_nprobe(self.plan.deep_nprobe);
         let k = self.plan.k;
-        self.fan_out(shards, |c| {
-            Ok(self.store.shard(c).search_with_stats(query, k, &params)?)
-        })
+        let mut sp = hermes_trace::span_with("engine.scatter", &[("shards", shards.len() as u64)]);
+        let per_shard = self.fan_out(shards, |c| {
+            let mut sp = hermes_trace::span_with("shard.deep", &[("cluster", c as u64)]);
+            let (hits, stats) = self.store.shard(c).search_with_stats(query, k, &params)?;
+            sp.arg("scanned_codes", stats.scanned_codes as u64);
+            Ok((hits, stats))
+        })?;
+        sp.arg(
+            "scanned_codes",
+            per_shard.iter().map(|(_, s)| s.scanned_codes as u64).sum(),
+        );
+        Ok(per_shard)
     }
 
     /// Runs `f` over shard ids with the plan's intra-query fan-out cap.
@@ -292,17 +323,24 @@ impl<'s> Engine<'s> {
 
     /// Executes the full pipeline for one query.
     ///
+    /// When telemetry is enabled, the call nests `engine.execute` ▸
+    /// `engine.route` / `engine.scatter` / `engine.gather` spans, with
+    /// the outer span's end event carrying the `route_scanned` /
+    /// `deep_scanned` work totals from [`SearchStats`].
+    ///
     /// # Errors
     ///
     /// Propagates the first shard error in stage order (route before
     /// scatter) and cluster order within a stage.
     pub fn execute(&self, query: &[f32]) -> Result<SearchOutcome, HermesError> {
+        let mut query_span = hermes_trace::span("engine.execute");
         let route = self.route(query)?;
         let m = self.plan.clusters_to_search.min(route.ranked_clusters.len());
         let searched: Vec<usize> = route.ranked_clusters[..m].to_vec();
         let per_shard = self.scatter(query, &searched)?;
 
         // Stage 4 (gather): deterministic input-order merge + stats fold.
+        let mut gather_span = hermes_trace::span("engine.gather");
         let per_cluster_hits: Vec<Vec<Neighbor>> =
             per_shard.iter().map(|(hits, _)| hits.clone()).collect();
         let hits = merge_topk(&per_cluster_hits, self.plan.k);
@@ -317,6 +355,10 @@ impl<'s> Engine<'s> {
             gather_candidates: per_cluster_hits.iter().map(Vec::len).sum(),
             per_shard_scanned,
         };
+        gather_span.arg("candidates", stats.gather_candidates as u64);
+        drop(gather_span);
+        query_span.arg("route_scanned", stats.route.scanned_codes as u64);
+        query_span.arg("deep_scanned", stats.deep.scanned_codes as u64);
         Ok(SearchOutcome {
             hits,
             ranked_clusters: route.ranked_clusters,

@@ -9,7 +9,16 @@
 //! hermes search --store store.hcls --query "what is in the datastore" --k 5
 //! hermes eval   --docs 10000 --dim 48 --topics 10 --clusters 10 --queries 40
 //! hermes plan   --tokens 100000000000 --batch 128 --stride 16
+//! hermes trace  --queries 40 --out trace.json
+//! hermes stats  --queries 40
 //! ```
+//!
+//! `trace` and `stats` run a synthetic hierarchical-search workload
+//! twice — telemetry off, then on — assert the results are
+//! bit-identical, and emit the captured events as Chrome trace-event
+//! JSON (Perfetto-loadable) or an ASCII span/counter summary. The
+//! `trace` path re-parses its own output before writing it, so it
+//! doubles as the `verify.sh` telemetry smoke test.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -36,6 +45,8 @@ fn main() -> ExitCode {
         "search" => cmd_search(&opts),
         "eval" => cmd_eval(&opts),
         "plan" => cmd_plan(&opts),
+        "trace" => cmd_trace(&opts),
+        "stats" => cmd_stats(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -61,9 +72,15 @@ USAGE:
   hermes eval   [--docs N] [--dim D] [--topics T] [--clusters C]
                 [--deep M] [--queries Q] [--seed S]
   hermes plan   --tokens <count> [--batch B] [--stride S] [--nprobe P]
+  hermes trace  --out <file> [--docs N] [--dim D] [--topics T]
+                [--clusters C] [--deep M] [--queries Q] [--seed S]
+                [--threads T]
+  hermes stats  [--docs N] [--dim D] [--topics T] [--clusters C]
+                [--deep M] [--queries Q] [--seed S] [--threads T]
 
 Defaults: docs 20000, dim 64, topics 10, clusters 10, deep 3, k 5,
-queries 40, seed 42, batch 128, stride 16, nprobe 128.";
+queries 40, seed 42, batch 128, stride 16, nprobe 128, threads 0
+(full pool width).";
 
 type Flags = HashMap<String, String>;
 
@@ -238,6 +255,76 @@ fn cmd_eval(opts: &Flags) -> Result<(), String> {
             cost.route_share() * 100.0
         );
     }
+    Ok(())
+}
+
+/// Runs the `eval`-shaped synthetic workload twice — telemetry off,
+/// then on — asserts bit-identical outcomes, and returns the drained
+/// trace snapshot. Shared by `trace` and `stats`.
+fn run_traced_workload(opts: &Flags) -> Result<hermes::trace::TraceSnapshot, String> {
+    let (spec, cfg) = build_config(opts)?;
+    let num_queries = get_usize(opts, "queries", 40)?;
+    let threads = get_usize(opts, "threads", 0)?;
+    println!(
+        "tracing hierarchical search: {} docs, {} clusters, {} queries",
+        spec.num_docs, cfg.num_clusters, num_queries
+    );
+    let corpus = Corpus::generate(spec);
+    let queries = QuerySet::generate(
+        &corpus,
+        QuerySpec::new(num_queries).with_seed(spec.seed.wrapping_add(7)),
+    );
+    let store = ClusteredStore::build(corpus.embeddings(), &cfg).map_err(|e| e.to_string())?;
+    let qs: Vec<Vec<f32>> = queries
+        .embeddings()
+        .iter_rows()
+        .map(<[f32]>::to_vec)
+        .collect();
+    hermes::trace::clear();
+    let baseline = store
+        .batch_hierarchical_search(&qs, threads)
+        .map_err(|e| e.to_string())?;
+    hermes::trace::enable();
+    let traced = store.batch_hierarchical_search(&qs, threads);
+    hermes::trace::disable();
+    let snap = hermes::trace::snapshot();
+    if traced.map_err(|e| e.to_string())? != baseline {
+        return Err("telemetry perturbed search results (bit-identity violated)".into());
+    }
+    Ok(snap)
+}
+
+fn cmd_trace(opts: &Flags) -> Result<(), String> {
+    let out_path = require(opts, "out")?;
+    let snap = run_traced_workload(opts)?;
+    let spans = snap
+        .spans()
+        .map_err(|e| format!("unbalanced trace: {e}"))?;
+    let json_text = hermes::trace::export::to_chrome_json(&snap);
+    // Prove the export is loadable before writing it out.
+    let doc = hermes::trace::json::parse(&json_text)
+        .map_err(|e| format!("exporter emitted invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or("exported JSON is missing the traceEvents array")?;
+    std::fs::write(out_path, &json_text).map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+    println!(
+        "wrote {out_path}: {} trace events ({} spans on {} threads, {} dropped)",
+        events.len(),
+        spans.len(),
+        snap.threads.len(),
+        snap.dropped
+    );
+    println!("results bit-identical with telemetry on and off");
+    Ok(())
+}
+
+fn cmd_stats(opts: &Flags) -> Result<(), String> {
+    let snap = run_traced_workload(opts)?;
+    let summary = hermes::metrics::trace_report::render_summary(&snap)
+        .map_err(|e| format!("unbalanced trace: {e}"))?;
+    print!("{summary}");
     Ok(())
 }
 

@@ -15,6 +15,7 @@
 //! | [`perfmodel`] | `hermes-perfmodel` | calibrated CPU/GPU/LLM cost models |
 //! | [`sim`] | `hermes-sim` | multi-node serving simulator |
 //! | [`metrics`] | `hermes-metrics` | NDCG/recall, energy accounting, reports |
+//! | [`trace`] | `hermes-trace` | runtime telemetry: spans, counters, Chrome trace export |
 //! | [`math`] | `hermes-math` | distances, top-k, matrices, stats, RNG |
 //!
 //! # Quickstart
@@ -48,6 +49,7 @@ pub use hermes_pool as pool;
 pub use hermes_quant as quant;
 pub use hermes_rag as rag;
 pub use hermes_sim as sim;
+pub use hermes_trace as trace;
 
 /// The most commonly used types, importable in one line.
 pub mod prelude {

@@ -395,17 +395,6 @@ impl IvfIndex {
             probed_partitions: probe.len(),
         }
     }
-
-    /// Number of code comparisons a search with `nprobe` would perform —
-    /// the work measure behind the latency/energy scaling laws.
-    #[deprecated(
-        since = "0.1.0",
-        note = "search paths get exact work from `search_with_stats` as the scan \
-                runs; for pre-search planning estimates use `probe_stats`"
-    )]
-    pub fn probe_cost(&self, query: &[f32], nprobe: usize) -> usize {
-        self.probe_stats(query, nprobe).scanned_codes
-    }
 }
 
 impl VectorIndex for IvfIndex {
@@ -659,10 +648,6 @@ mod tests {
         assert_eq!(full.scanned_codes, 200);
         assert_eq!(full.probed_partitions, 4);
         assert!(ivf.probe_stats(q, 1).scanned_codes < full.scanned_codes);
-        // The deprecated shim must agree with the estimate it wraps.
-        #[allow(deprecated)]
-        let shim = ivf.probe_cost(q, 4);
-        assert_eq!(shim, full.scanned_codes);
     }
 
     #[test]

@@ -170,7 +170,10 @@ pub trait VectorIndex: Send + Sync {
     /// Returns up to `k` nearest neighbors of `query`, best first.
     ///
     /// Convenience over [`Self::search_with_stats`] for callers that do
-    /// not account work; both run the identical scan.
+    /// not account work; both run the identical scan. When runtime
+    /// telemetry is enabled ([`hermes_trace::enable`]), each call records
+    /// an `index.scanned_codes` counter sample — the stats are collected
+    /// inline by every implementation, so the sample is free.
     ///
     /// # Errors
     ///
@@ -182,7 +185,11 @@ pub trait VectorIndex: Send + Sync {
         k: usize,
         params: &SearchParams,
     ) -> Result<Vec<Neighbor>, IndexError> {
-        self.search_with_stats(query, k, params).map(|(hits, _)| hits)
+        let (hits, stats) = self.search_with_stats(query, k, params)?;
+        if hermes_trace::is_enabled() {
+            hermes_trace::counter("index.scanned_codes", stats.scanned_codes as u64);
+        }
+        Ok(hits)
     }
 
     /// Searches a batch of queries on the shared work-stealing executor

@@ -189,6 +189,32 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<(f64, f64, f64)> {
     Some((slope, intercept, r2))
 }
 
+/// Index of the log2 bucket holding `v`: `0` for `v <= 1`, otherwise
+/// `floor(log2(v))` — so bucket `i` covers `[2^i, 2^(i+1))` and a fixed
+/// array of 64 buckets spans every `u64`. This is the bucketing rule of
+/// the telemetry layer's latency histograms (`hermes-trace`), kept here
+/// so the math crate owns every numeric convention in one place.
+#[inline]
+pub fn log2_bucket(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        63 - v.leading_zeros() as usize
+    }
+}
+
+/// Lower bound of log2 bucket `i` (the inverse of [`log2_bucket`]):
+/// `0` for bucket 0, else `2^i`. Histogram percentile readouts report
+/// this value, which makes fixtures exactly computable by hand.
+#[inline]
+pub fn log2_bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
 /// Shannon entropy of a size distribution in nats; an alternative imbalance
 /// measure the paper mentions (variance/entropy) — exposed for the ablation
 /// bench on splitting strategies.
@@ -298,6 +324,30 @@ mod tests {
     fn linear_fit_degenerate_inputs_are_none() {
         assert!(linear_fit(&[1.0], &[2.0]).is_none());
         assert!(linear_fit(&[2.0, 2.0], &[1.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn log2_bucket_covers_powers_and_boundaries() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 0);
+        assert_eq!(log2_bucket(2), 1);
+        assert_eq!(log2_bucket(3), 1);
+        assert_eq!(log2_bucket(4), 2);
+        assert_eq!(log2_bucket(1023), 9);
+        assert_eq!(log2_bucket(1024), 10);
+        assert_eq!(log2_bucket(u64::MAX), 63);
+        for i in 1..64usize {
+            assert_eq!(log2_bucket(log2_bucket_floor(i)), i);
+            assert_eq!(log2_bucket(log2_bucket_floor(i) - 1), i - 1);
+        }
+    }
+
+    #[test]
+    fn log2_bucket_floor_inverts_bucketing() {
+        assert_eq!(log2_bucket_floor(0), 0);
+        assert_eq!(log2_bucket_floor(1), 2);
+        assert_eq!(log2_bucket_floor(10), 1024);
+        assert_eq!(log2_bucket_floor(63), 1u64 << 63);
     }
 
     #[test]

@@ -103,6 +103,52 @@ mod tests {
     }
 
     #[test]
+    fn folding_an_empty_stream_is_the_identity() {
+        // Merging an empty breakdown (a stream that produced no queries)
+        // must leave the accumulator untouched — in both directions.
+        let mut acc = CostBreakdown::new();
+        acc.record(100, 900);
+        let before = acc;
+        acc.merge(&CostBreakdown::new());
+        assert_eq!(acc, before);
+
+        let mut empty = CostBreakdown::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+
+        // And folding nothing at all stays all-zero.
+        let folded = [].iter().fold(CostBreakdown::new(), |mut c, &(r, d)| {
+            c.record(r, d);
+            c
+        });
+        assert_eq!(folded, CostBreakdown::new());
+        assert_eq!(folded.total_codes(), 0);
+        assert_eq!(folded.mean_codes_per_query(), 0.0);
+        assert_eq!(folded.route_share(), 0.0);
+    }
+
+    #[test]
+    fn folding_a_single_query_stream_matches_its_only_query() {
+        let folded = [(70usize, 930usize)]
+            .iter()
+            .fold(CostBreakdown::new(), |mut c, &(r, d)| {
+                c.record(r, d);
+                c
+            });
+        assert_eq!(folded.queries, 1);
+        assert_eq!(folded.route_codes, 70);
+        assert_eq!(folded.deep_codes, 930);
+        assert_eq!(folded.total_codes(), 1000);
+        // With one query, the mean is that query's total exactly.
+        assert_eq!(folded.mean_codes_per_query(), 1000.0);
+        assert_eq!(folded.route_share(), 0.07);
+        // A single-element merge agrees with a single-element record.
+        let mut merged = CostBreakdown::new();
+        merged.merge(&folded);
+        assert_eq!(merged, folded);
+    }
+
+    #[test]
     fn merge_is_equivalent_to_recording_everything_in_one() {
         let mut a = CostBreakdown::new();
         a.record(5, 45);

@@ -11,11 +11,15 @@
 //!   (route vs deep), folded over a query stream.
 //! * [`report`] — ASCII tables and series used by every bench binary to
 //!   print paper-vs-measured rows.
+//! * [`trace_report`] — folds a `hermes-trace` snapshot into those same
+//!   tables (span latency percentiles, counter roll-ups): the renderer
+//!   behind `hermes stats`.
 
 pub mod cost;
 pub mod energy;
 pub mod ranking;
 pub mod report;
+pub mod trace_report;
 pub mod truth;
 
 pub use cost::CostBreakdown;

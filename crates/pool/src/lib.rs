@@ -31,10 +31,28 @@
 //! overridable with the `HERMES_THREADS` environment variable
 //! (`HERMES_THREADS=1` forces every batch path to run inline and
 //! sequentially — useful for bisecting concurrency bugs; oversubscribed
-//! values exercise contended schedules).
+//! values exercise contended schedules). See [`Pool::global`] for the
+//! exact parsing rules.
 //!
-//! Zero dependencies, per the workspace hermeticity policy: the pool is
-//! `std`-only (`Mutex`/`Condvar` + atomics).
+//! Zero external dependencies, per the workspace hermeticity policy:
+//! the pool is `std` (`Mutex`/`Condvar` + atomics) plus the in-repo
+//! `hermes-trace` telemetry layer.
+//!
+//! # Telemetry
+//!
+//! When `hermes_trace::enable()` is on, workers record:
+//!
+//! * `pool.task` spans — one per cursor claim (a grain of one or more
+//!   indices), with `start`/`len` args; these land on the worker's own
+//!   thread lane in a Perfetto view, so stealing imbalance is visible.
+//! * `pool.steal` counter — one sample per successful claim.
+//! * `pool.queue_depth` counter — indices still unclaimed after each
+//!   claim (the drain curve of a job).
+//! * `pool.idle` complete-spans — time a worker spent parked on the
+//!   condvar between jobs.
+//!
+//! Disabled (the default), each of these sites costs one relaxed atomic
+//! load on the claim path and nothing per item.
 //!
 //! # Examples
 //!
@@ -148,9 +166,22 @@ impl Pool {
         }
     }
 
-    /// The process-wide shared pool, created on first use. Sized from
-    /// `HERMES_THREADS` when set (invalid or zero values fall back), else
-    /// [`std::thread::available_parallelism`].
+    /// The process-wide shared pool, created on first use.
+    ///
+    /// Sizing rules, checked in order:
+    ///
+    /// 1. `HERMES_THREADS` set to a positive integer (surrounding
+    ///    whitespace tolerated, e.g. `" 8 "`) — that exact width, even
+    ///    if it oversubscribes the machine.
+    /// 2. `HERMES_THREADS` set to anything else — `"0"`, empty,
+    ///    negative, fractional (`"1.5"`), or non-numeric — the value is
+    ///    **ignored** and rule 3 applies. Zero is not "inline mode";
+    ///    use `HERMES_THREADS=1` for that.
+    /// 3. Unset — [`std::thread::available_parallelism`], falling back
+    ///    to 1 if the platform cannot report it.
+    ///
+    /// The width is decided once, at first use; later changes to the
+    /// environment variable have no effect on this process.
     pub fn global() -> &'static Pool {
         static GLOBAL: OnceLock<Pool> = OnceLock::new();
         GLOBAL.get_or_init(|| Pool::new(default_threads()))
@@ -292,7 +323,16 @@ impl Pool {
                 if start >= n {
                     return;
                 }
-                for i in start..(start + grain).min(n) {
+                let end = (start + grain).min(n);
+                let _task_span = hermes_trace::is_enabled().then(|| {
+                    hermes_trace::counter("pool.steal", 1);
+                    hermes_trace::counter("pool.queue_depth", (n - end) as u64);
+                    hermes_trace::span_with(
+                        "pool.task",
+                        &[("start", start as u64), ("len", (end - start) as u64)],
+                    )
+                });
+                for i in start..end {
                     match catch_unwind(AssertUnwindSafe(|| f(i))) {
                         Ok(v) => unsafe { shared.write(i, v) },
                         Err(payload) => {
@@ -397,6 +437,11 @@ fn worker_loop(inner: &Inner) {
     loop {
         let job = {
             let mut slot = lock(&inner.slot);
+            // Idle time is reported as a `Complete` event stamped at
+            // wake rather than a Span guard: a guard held across the
+            // condvar wait would leave an unmatched `Begin` in the ring
+            // if a snapshot drained while this worker was parked.
+            let mut idle_from: Option<u64> = None;
             loop {
                 if slot.shutdown {
                     return;
@@ -404,8 +449,15 @@ fn worker_loop(inner: &Inner) {
                 if slot.epoch != seen {
                     if let Some(job) = slot.job {
                         seen = slot.epoch;
+                        if let Some(t0) = idle_from {
+                            let now = hermes_trace::now_ns();
+                            hermes_trace::complete("pool.idle", t0, now.saturating_sub(t0));
+                        }
                         break job;
                     }
+                }
+                if idle_from.is_none() && hermes_trace::is_enabled() {
+                    idle_from = Some(hermes_trace::now_ns());
                 }
                 slot = inner
                     .work
@@ -431,14 +483,20 @@ fn worker_loop(inner: &Inner) {
 /// Pool width for [`Pool::global`]: `HERMES_THREADS` when it parses to a
 /// positive integer, else the machine's available parallelism.
 fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("HERMES_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    parse_hermes_threads(std::env::var("HERMES_THREADS").ok().as_deref())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
+/// Interprets a `HERMES_THREADS` value: `Some(n)` for a positive integer
+/// (surrounding whitespace tolerated), `None` for unset or anything that
+/// does not name a positive integer — including `"0"`, which callers
+/// must not conflate with inline mode (`1`). Pure so every case is unit
+/// testable without mutating the process environment.
+fn parse_hermes_threads(value: Option<&str>) -> Option<usize> {
+    let n = value?.trim().parse::<usize>().ok()?;
+    (n >= 1).then_some(n)
 }
 
 #[cfg(test)]
@@ -584,6 +642,32 @@ mod tests {
             }
         }
     }
+
+    #[test]
+    fn hermes_threads_parsing_accepts_positive_integers() {
+        assert_eq!(parse_hermes_threads(Some("1")), Some(1));
+        assert_eq!(parse_hermes_threads(Some("16")), Some(16));
+        assert_eq!(parse_hermes_threads(Some(" 8 ")), Some(8), "whitespace trimmed");
+        assert_eq!(parse_hermes_threads(Some("1024")), Some(1024), "oversubscription allowed");
+    }
+
+    #[test]
+    fn hermes_threads_parsing_rejects_everything_else() {
+        assert_eq!(parse_hermes_threads(None), None, "unset");
+        assert_eq!(parse_hermes_threads(Some("")), None, "empty");
+        assert_eq!(parse_hermes_threads(Some("0")), None, "zero is not inline mode");
+        assert_eq!(parse_hermes_threads(Some("-4")), None, "negative");
+        assert_eq!(parse_hermes_threads(Some("1.5")), None, "fractional");
+        assert_eq!(parse_hermes_threads(Some("lots")), None, "garbage");
+        assert_eq!(parse_hermes_threads(Some("8 cores")), None, "trailing text");
+    }
+
+    // Note: traced-execution behavior (pool.task span balance, steal /
+    // queue-depth counters, bit-identical results with telemetry on) is
+    // covered by the workspace integration test `trace_validation`,
+    // which owns its process and can serialize access to the global
+    // trace state. Enabling tracing here would race with this binary's
+    // other tests, which all drive pools concurrently.
 
     #[test]
     fn drop_joins_workers_promptly() {

@@ -165,10 +165,24 @@ impl Retriever {
 
     /// Retrieves the configured top-k for `query`.
     ///
+    /// When telemetry is enabled, the call is wrapped in a
+    /// `rag.retrieve` span whose end event carries the same
+    /// `route_codes` / `scanned_codes` accounting as the returned
+    /// [`Retrieval`] — the end-to-end latency envelope the per-stage
+    /// engine spans nest under.
+    ///
     /// # Errors
     ///
     /// Propagates index errors (dimension mismatch, empty index).
     pub fn retrieve(&self, query: &[f32]) -> Result<Retrieval, HermesError> {
+        let mut sp = hermes_trace::span("rag.retrieve");
+        let out = self.retrieve_inner(query)?;
+        sp.arg("route_codes", out.route_codes as u64);
+        sp.arg("scanned_codes", out.scanned_codes as u64);
+        Ok(out)
+    }
+
+    fn retrieve_inner(&self, query: &[f32]) -> Result<Retrieval, HermesError> {
         match &self.backend {
             Backend::Monolithic(index) => {
                 let params = SearchParams::new().with_nprobe(self.config.deep_nprobe);

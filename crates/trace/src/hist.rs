@@ -1,0 +1,215 @@
+//! Fixed-bucket log2 latency histograms.
+//!
+//! 64 buckets cover every `u64` value: bucket `i` holds `[2^i, 2^(i+1))`
+//! (bucket 0 additionally holds 0), per
+//! [`hermes_math::stats::log2_bucket`]. Recording is a single array
+//! increment — no allocation, no sorting — and percentile readout walks
+//! the cumulative counts, reporting the *lower bound* of the bucket the
+//! rank lands in. The coarse readout is deliberate: a log2 bucket is
+//! within 2× of the true value, which is exactly the resolution the
+//! paper's latency distribution arguments need, and the lower-bound rule
+//! makes every fixture hand-computable.
+
+use hermes_math::stats::{log2_bucket, log2_bucket_floor};
+
+/// Number of buckets — one per possible `floor(log2(v))` of a `u64`.
+pub const BUCKETS: usize = 64;
+
+/// A log2-bucketed histogram of `u64` observations (latencies in ns,
+/// scanned-code counts, queue depths — any nonnegative magnitude).
+///
+/// # Examples
+///
+/// ```
+/// use hermes_trace::hist::LogHistogram;
+/// let mut h = LogHistogram::new();
+/// for v in [3u64, 5, 9, 17, 33] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// // Ranks land in buckets [2,4), [4,8), [8,16), [16,32), [32,64);
+/// // p50 is the 3rd observation's bucket lower bound: 8.
+/// assert_eq!(h.percentile(0.50), 8);
+/// assert_eq!(h.max_bucket_floor(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, v: u64) {
+        self.counts[log2_bucket(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observation (`0.0` when empty). Exact, not bucketed: the sum
+    /// is accumulated alongside the buckets.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts (`counts()[i]` = observations in `[2^i, 2^(i+1))`).
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Lower bound of the bucket containing the `q`-quantile observation
+    /// (nearest-rank: rank `ceil(q * count)`, clamped to at least 1).
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return log2_bucket_floor(i);
+            }
+        }
+        unreachable!("cumulative counts must reach count")
+    }
+
+    /// Median bucket lower bound.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile bucket lower bound.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile bucket lower bound.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Lower bound of the highest non-empty bucket (0 when empty).
+    pub fn max_bucket_floor(&self) -> u64 {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, log2_bucket_floor)
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max_bucket_floor(), 0);
+    }
+
+    #[test]
+    fn percentiles_match_hand_computed_fixture() {
+        // 100 observations: 50 in bucket [2,4) (value 3), 45 in [8,16)
+        // (value 10), 5 in [1024,2048) (value 1500). Nearest-rank:
+        //   p50 -> rank 50  -> bucket [2,4)      -> floor 2
+        //   p95 -> rank 95  -> bucket [8,16)     -> floor 8
+        //   p99 -> rank 99  -> bucket [1024,..)  -> floor 1024
+        let mut h = LogHistogram::new();
+        for _ in 0..50 {
+            h.record(3);
+        }
+        for _ in 0..45 {
+            h.record(10);
+        }
+        for _ in 0..5 {
+            h.record(1500);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 2);
+        assert_eq!(h.p95(), 8);
+        assert_eq!(h.p99(), 1024);
+        assert_eq!(h.max_bucket_floor(), 1024);
+        let mean = (50 * 3 + 45 * 10 + 5 * 1500) as f64 / 100.0;
+        assert!((h.mean() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation_dominates_every_percentile() {
+        let mut h = LogHistogram::new();
+        h.record(77); // bucket [64,128)
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), 64, "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let values = [1u64, 2, 3, 100, 5000, 0, 9];
+        let mut whole = LogHistogram::new();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn zero_values_land_in_bucket_zero() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.percentile(1.0), 0);
+    }
+}

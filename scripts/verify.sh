@@ -26,3 +26,23 @@ done
 # checks, but only at test opt levels).
 echo "== ext_kernels smoke (release) =="
 HERMES_SMOKE=1 cargo run -p hermes-bench --release --offline --quiet --bin ext_kernels
+
+# Release-mode smoke of the telemetry layer: asserts the disabled and
+# enabled instrumented search paths return bit-identical hits and that
+# the enabled path records counter samples.
+echo "== ext_trace_overhead smoke (release) =="
+HERMES_SMOKE=1 cargo run -p hermes-bench --release --offline --quiet --bin ext_trace_overhead
+
+# Traced-workload smoke: `hermes trace` runs a batch hierarchical search
+# with telemetry off then on, errors out unless the results are
+# bit-identical, and re-parses its own Chrome trace JSON before writing
+# it. A second pass at width 1 pins the inline (no-worker) path.
+echo "== hermes trace smoke (release) =="
+trace_out="$(mktemp -d)"
+trap 'rm -rf "${trace_out}"' EXIT
+cargo run -p hermes --release --offline --quiet --bin hermes -- \
+    trace --docs 4000 --dim 32 --queries 16 --out "${trace_out}/trace.json"
+test -s "${trace_out}/trace.json"
+HERMES_THREADS=1 cargo run -p hermes --release --offline --quiet --bin hermes -- \
+    trace --docs 4000 --dim 32 --queries 16 --out "${trace_out}/trace_w1.json"
+test -s "${trace_out}/trace_w1.json"

@@ -5,9 +5,10 @@
 //! the first-error-in-input-order contract.
 //!
 //! The legacy behaviour is reimplemented here from the pre-engine code:
-//! plain `search()` per shard plus the deprecated `probe_cost()` second
-//! pass. If the engine ever drifts (a reordered merge, a changed clamp, a
-//! racy accumulation), these properties fail.
+//! plain `search()` per shard plus a second `probe_stats()` costing pass
+//! (the engine gets the same numbers inline from `search_with_stats`).
+//! If the engine ever drifts (a reordered merge, a changed clamp, a racy
+//! accumulation), these properties fail.
 
 use hermes::math::topk::merge_topk;
 use hermes::prelude::*;
@@ -31,9 +32,8 @@ struct LegacyOutcome {
 }
 
 /// The original routing loop: sequential shard-by-shard sampling with a
-/// separate `probe_cost` pass, or centroid scoring, then the shared
-/// score-desc / id-asc sort.
-#[allow(deprecated)]
+/// separate `probe_stats` costing pass, or centroid scoring, then the
+/// shared score-desc / id-asc sort.
 fn legacy_route(store: &ClusteredStore, query: &[f32]) -> (Vec<usize>, usize, usize) {
     let cfg = store.config();
     let n = store.num_clusters();
@@ -45,7 +45,7 @@ fn legacy_route(store: &ClusteredStore, query: &[f32]) -> (Vec<usize>, usize, us
             for c in 0..n {
                 let shard = store.shard(c);
                 let hits = shard.search(query, 1, &params).unwrap();
-                scanned += shard.probe_cost(query, cfg.sample_nprobe);
+                scanned += shard.probe_stats(query, cfg.sample_nprobe).scanned_codes;
                 scored.push((c, hits.first().map_or(f32::NEG_INFINITY, |h| h.score)));
             }
             (scored, scanned, n)
@@ -71,8 +71,7 @@ fn legacy_route(store: &ClusteredStore, query: &[f32]) -> (Vec<usize>, usize, us
 }
 
 /// The original hierarchical search: route, then a sequential deep-search
-/// loop over the top-m shards, costed with `probe_cost`.
-#[allow(deprecated)]
+/// loop over the top-m shards, costed with `probe_stats`.
 fn legacy_search(store: &ClusteredStore, query: &[f32]) -> LegacyOutcome {
     let cfg = *store.config();
     let (ranked, sample_codes, sample_clusters) = legacy_route(store, query);
@@ -84,7 +83,7 @@ fn legacy_search(store: &ClusteredStore, query: &[f32]) -> LegacyOutcome {
     for &c in &searched {
         let shard = store.shard(c);
         per_cluster.push(shard.search(query, cfg.k, &params).unwrap());
-        deep_codes += shard.probe_cost(query, cfg.deep_nprobe);
+        deep_codes += shard.probe_stats(query, cfg.deep_nprobe).scanned_codes;
     }
     LegacyOutcome {
         hits: merge_topk(&per_cluster, cfg.k),
@@ -208,8 +207,8 @@ fn exhaustive_plan_matches_legacy_full_fanout() {
 }
 
 /// The engine's per-query work totals equal what each shard reports from
-/// the scan itself — no path recomputes `probe_cost` after searching, and
-/// the two accountings must agree exactly.
+/// the scan itself — no path re-walks the coarse quantizer after
+/// searching, and the two accountings must agree exactly.
 #[test]
 fn per_shard_stats_sum_to_stage_totals() {
     check_with(

@@ -338,33 +338,10 @@ impl<'s> Engine<'s> {
         let m = self.plan.clusters_to_search.min(route.ranked_clusters.len());
         let searched: Vec<usize> = route.ranked_clusters[..m].to_vec();
         let per_shard = self.scatter(query, &searched)?;
-
-        // Stage 4 (gather): deterministic input-order merge + stats fold.
-        let mut gather_span = hermes_trace::span("engine.gather");
-        let per_cluster_hits: Vec<Vec<Neighbor>> =
-            per_shard.iter().map(|(hits, _)| hits.clone()).collect();
-        let hits = merge_topk(&per_cluster_hits, self.plan.k);
-        let per_shard_scanned: Vec<usize> =
-            per_shard.iter().map(|(_, s)| s.scanned_codes).collect();
-        let stats = SearchStats {
-            route: route.cost,
-            deep: SearchPhaseCost {
-                scanned_codes: per_shard_scanned.iter().sum(),
-                clusters_touched: m,
-            },
-            gather_candidates: per_cluster_hits.iter().map(Vec::len).sum(),
-            per_shard_scanned,
-        };
-        gather_span.arg("candidates", stats.gather_candidates as u64);
-        drop(gather_span);
-        query_span.arg("route_scanned", stats.route.scanned_codes as u64);
-        query_span.arg("deep_scanned", stats.deep.scanned_codes as u64);
-        Ok(SearchOutcome {
-            hits,
-            ranked_clusters: route.ranked_clusters,
-            searched_clusters: searched,
-            stats,
-        })
+        let outcome = self.gather(route, searched, per_shard);
+        query_span.arg("route_scanned", outcome.stats.route.scanned_codes as u64);
+        query_span.arg("deep_scanned", outcome.stats.deep.scanned_codes as u64);
+        Ok(outcome)
     }
 
     /// Executes the pipeline for a whole batch, stealing queries from the
@@ -386,6 +363,196 @@ impl<'s> Engine<'s> {
         }
         let cap = if threads == 0 { usize::MAX } else { threads };
         hermes_pool::Pool::global().try_parallel_map_capped(queries, cap, |q| self.execute(q))
+    }
+
+    /// **Stage 1+2 for a whole batch:** routes every query, stealing
+    /// queries from the shared pool cursor like [`Engine::execute_batch`].
+    /// `threads` caps the inter-query fan-out (`0` = full pool, `1` =
+    /// inline sequential). The serving layer's batch former uses this to
+    /// discover cluster overlap before committing to a scatter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-query route error in input order.
+    pub fn route_batch(
+        &self,
+        queries: &[Vec<f32>],
+        threads: usize,
+    ) -> Result<Vec<RouteOutcome>, HermesError> {
+        if threads == 1 || queries.len() <= 1 {
+            return queries.iter().map(|q| self.route(q)).collect();
+        }
+        let cap = if threads == 0 { usize::MAX } else { threads };
+        hermes_pool::Pool::global().try_parallel_map_capped(queries, cap, |q| self.route(q))
+    }
+
+    /// Executes the pipeline for a whole batch with the scatter stage
+    /// **coalesced by cluster**: after routing every query, the deep
+    /// searches are grouped so each distinct cluster is one pool task
+    /// that serves all the queries whose top-m routing selected it —
+    /// instead of `queries × m` independent tasks, at most
+    /// `distinct clusters` tasks touch each shard exactly once. This is
+    /// the serving layer's dynamic-batch execution: queries with
+    /// overlapping routing share a shard visit (locality), disjoint
+    /// queries still fan out across shards.
+    ///
+    /// Results are bit-identical to [`Engine::execute_batch`]: each
+    /// `(query, cluster)` deep search runs the same deterministic scan,
+    /// per-query gather merges per-shard hits in the query's own rank
+    /// order, and stats fold the same integers. Only the task grouping —
+    /// invisible to results — differs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-query error in input order; within one
+    /// query, route errors precede scatter errors and scatter errors
+    /// surface in the query's rank order — the same rule as
+    /// [`Engine::execute_batch`].
+    pub fn execute_coalesced(
+        &self,
+        queries: &[Vec<f32>],
+        threads: usize,
+    ) -> Result<Vec<SearchOutcome>, HermesError> {
+        let mut batch_span =
+            hermes_trace::span_with("engine.coalesced", &[("queries", queries.len() as u64)]);
+        let cap = if threads == 0 { usize::MAX } else { threads };
+
+        // Route every query; keep per-query errors for input-order
+        // propagation after the scatter phase resolves.
+        let route_one = |q: &Vec<f32>| -> Result<Result<RouteOutcome, HermesError>, HermesError> {
+            Ok(self.route(q))
+        };
+        let routes: Vec<Result<RouteOutcome, HermesError>> = if cap == 1 || queries.len() <= 1 {
+            queries.iter().map(route_one).collect::<Result<_, _>>()?
+        } else {
+            hermes_pool::Pool::global().try_parallel_map_capped(queries, cap, route_one)?
+        };
+        let searched: Vec<Vec<usize>> = routes
+            .iter()
+            .map(|r| match r {
+                Ok(route) => {
+                    let m = self.plan.clusters_to_search.min(route.ranked_clusters.len());
+                    route.ranked_clusters[..m].to_vec()
+                }
+                Err(_) => Vec::new(),
+            })
+            .collect();
+
+        // Invert query → clusters into cluster → queries (ascending
+        // cluster id, queries in input order within a cluster).
+        let mut cluster_queries: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (qi, clusters) in searched.iter().enumerate() {
+            for &c in clusters {
+                cluster_queries.entry(c).or_default().push(qi);
+            }
+        }
+        let groups: Vec<(usize, Vec<usize>)> = cluster_queries.into_iter().collect();
+        batch_span.arg("distinct_clusters", groups.len() as u64);
+
+        // One task per distinct cluster: deep-search it for every query
+        // that routed to it. Tasks never abort the fan-out — per-search
+        // errors are carried to the assembly step so the *query* input
+        // order, not the cluster order, decides which error wins.
+        type DeepResult = Result<(Vec<Neighbor>, ScanStats), HermesError>;
+        let params = SearchParams::new().with_nprobe(self.plan.deep_nprobe);
+        let k = self.plan.k;
+        let run_group = |&(c, ref qis): &(usize, Vec<usize>)| -> Result<Vec<DeepResult>, HermesError> {
+            let mut sp = hermes_trace::span_with("shard.deep", &[("cluster", c as u64)]);
+            let mut scanned = 0u64;
+            let results = qis
+                .iter()
+                .map(|&qi| {
+                    let r = self.store.shard(c).search_with_stats(&queries[qi], k, &params);
+                    if let Ok((_, stats)) = &r {
+                        scanned += stats.scanned_codes as u64;
+                    }
+                    r.map_err(HermesError::from)
+                })
+                .collect();
+            sp.arg("queries", qis.len() as u64);
+            sp.arg("scanned_codes", scanned);
+            Ok(results)
+        };
+        let per_group: Vec<Vec<DeepResult>> = if cap == 1 || groups.len() <= 1 {
+            groups.iter().map(run_group).collect::<Result<_, _>>()?
+        } else {
+            hermes_pool::Pool::global().try_parallel_map_capped(&groups, cap, run_group)?
+        };
+
+        // Re-slot each deep result into its query's rank-order position,
+        // so gather sees exactly the per-shard sequence `execute` builds.
+        let mut slots: Vec<Vec<Option<DeepResult>>> = searched
+            .iter()
+            .map(|clusters| clusters.iter().map(|_| None).collect())
+            .collect();
+        for ((c, qis), results) in groups.iter().zip(per_group) {
+            for (&qi, result) in qis.iter().zip(results) {
+                let pos = searched[qi]
+                    .iter()
+                    .position(|cluster| cluster == c)
+                    .expect("cluster group built from this query's searched list");
+                slots[qi][pos] = Some(result);
+            }
+        }
+
+        // Assemble outcomes in input order; the first failing query wins,
+        // and within a query route errors precede rank-order scatter
+        // errors — matching execute_batch exactly.
+        let mut outcomes = Vec::with_capacity(queries.len());
+        for ((route, query_searched), query_slots) in
+            routes.into_iter().zip(searched).zip(slots)
+        {
+            let route = route?;
+            let mut per_shard = Vec::with_capacity(query_slots.len());
+            for slot in query_slots {
+                per_shard.push(slot.expect("every searched cluster was scattered")?);
+            }
+            outcomes.push(self.gather(route, query_searched, per_shard));
+        }
+        batch_span.arg(
+            "deep_searches",
+            outcomes
+                .iter()
+                .map(|o| o.searched_clusters.len() as u64)
+                .sum(),
+        );
+        Ok(outcomes)
+    }
+
+    /// **Stage 4 (gather):** merges per-shard hits (already in the
+    /// query's rank order) into the final top-k and folds the stats —
+    /// shared by [`Engine::execute`] and [`Engine::execute_coalesced`] so
+    /// the two paths cannot drift.
+    fn gather(
+        &self,
+        route: RouteOutcome,
+        searched: Vec<usize>,
+        per_shard: Vec<(Vec<Neighbor>, ScanStats)>,
+    ) -> SearchOutcome {
+        let mut gather_span = hermes_trace::span("engine.gather");
+        let per_cluster_hits: Vec<Vec<Neighbor>> =
+            per_shard.iter().map(|(hits, _)| hits.clone()).collect();
+        let hits = merge_topk(&per_cluster_hits, self.plan.k);
+        let per_shard_scanned: Vec<usize> =
+            per_shard.iter().map(|(_, s)| s.scanned_codes).collect();
+        let stats = SearchStats {
+            route: route.cost,
+            deep: SearchPhaseCost {
+                scanned_codes: per_shard_scanned.iter().sum(),
+                clusters_touched: searched.len(),
+            },
+            gather_candidates: per_cluster_hits.iter().map(Vec::len).sum(),
+            per_shard_scanned,
+        };
+        gather_span.arg("candidates", stats.gather_candidates as u64);
+        drop(gather_span);
+        SearchOutcome {
+            hits,
+            ranked_clusters: route.ranked_clusters,
+            searched_clusters: searched,
+            stats,
+        }
     }
 
     /// Executes the batch and folds each query's deep-searched clusters
@@ -478,6 +645,91 @@ mod tests {
                     .unwrap();
                 assert_eq!(inline, scattered, "scatter_threads={threads}");
             }
+        }
+    }
+
+    #[test]
+    fn coalesced_matches_per_query_execution_every_width() {
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(6).with_seed(1).with_clusters_to_search(3);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let engine = Engine::for_store(&store);
+        let batch = queries.to_vecs();
+        let reference = engine.execute_batch(&batch, 1).unwrap();
+        for threads in [0usize, 1, 2, 64] {
+            let coalesced = engine.execute_coalesced(&batch, threads).unwrap();
+            assert_eq!(coalesced, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn coalesced_matches_for_every_routing_mode() {
+        let (corpus, queries) = setup();
+        let batch = queries.to_vecs();
+        for routing in [
+            Routing::DocumentSampling,
+            Routing::CentroidOnly,
+            Routing::Unranked,
+        ] {
+            let cfg = HermesConfig::new(6)
+                .with_seed(1)
+                .with_clusters_to_search(3)
+                .with_routing(routing);
+            let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+            let engine = Engine::for_store(&store);
+            let reference = engine.execute_batch(&batch, 1).unwrap();
+            let coalesced = engine.execute_coalesced(&batch, 0).unwrap();
+            assert_eq!(coalesced, reference, "routing={routing:?}");
+        }
+    }
+
+    #[test]
+    fn coalesced_single_and_empty_batches() {
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(6).with_seed(1).with_clusters_to_search(2);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let engine = Engine::for_store(&store);
+        let one = vec![queries.embeddings().row(0).to_vec()];
+        assert_eq!(
+            engine.execute_coalesced(&one, 0).unwrap(),
+            engine.execute_batch(&one, 1).unwrap()
+        );
+        assert!(engine.execute_coalesced(&[], 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn coalesced_reports_first_error_in_input_order() {
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(6).with_seed(1).with_clusters_to_search(3);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let engine = Engine::for_store(&store);
+        // A wrong-dimension query fails at the route stage; put good
+        // queries around it so ordering matters.
+        let mut batch = queries.to_vecs();
+        batch.insert(2, vec![1.0; 3]);
+        batch.insert(5, vec![2.0; 5]);
+        let expected = engine.execute_batch(&batch, 1).unwrap_err();
+        for threads in [0usize, 1, 4] {
+            let got = engine.execute_coalesced(&batch, threads).unwrap_err();
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn route_batch_matches_sequential_route() {
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(6).with_seed(1);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let engine = Engine::for_store(&store);
+        let batch = queries.to_vecs();
+        let sequential: Vec<RouteOutcome> =
+            batch.iter().map(|q| engine.route(q).unwrap()).collect();
+        for threads in [0usize, 1, 4] {
+            assert_eq!(
+                engine.route_batch(&batch, threads).unwrap(),
+                sequential,
+                "threads={threads}"
+            );
         }
     }
 

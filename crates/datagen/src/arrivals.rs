@@ -1,0 +1,117 @@
+//! Arrival-process generation for open-loop serving workloads.
+//!
+//! The serving layer (`hermes-serve`), the queueing simulator
+//! (`hermes_sim::queueing`) and the serving-oracle tests all consume the
+//! *same* seeded Poisson arrival streams: the simulator predicts tail
+//! latency for an arrival trace, the server is driven by the identical
+//! trace, and the oracle test asserts the two agree. Centralizing the
+//! sampling here guarantees "identical" means bit-identical — one
+//! formula, one RNG stream.
+//!
+//! Times are produced both as `f64` seconds (the simulator's native
+//! unit) and as `u64` nanoseconds (the serving layer's clock unit); the
+//! nanosecond stream is the seconds stream rounded once per arrival, so
+//! the two never drift by more than a nanosecond per event.
+
+use hermes_math::rng::{seeded_rng, SeededRng};
+
+/// One exponential inter-arrival gap for a Poisson process of rate
+/// `rate_per_s`, in seconds. This is the exact draw
+/// `hermes_sim::queueing::simulate_md1` has always used; callers that
+/// share a seed with the simulator see the same gaps bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if `rate_per_s` is not positive.
+pub fn exp_interarrival_s(rng: &mut SeededRng, rate_per_s: f64) -> f64 {
+    assert!(rate_per_s > 0.0, "arrival rate must be positive");
+    let u: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
+    -u.ln() / rate_per_s
+}
+
+/// Absolute arrival times (seconds, strictly increasing from the first
+/// gap — the process starts at `t = 0` with no arrival at 0) of `num`
+/// Poisson arrivals at `rate_per_s`, seeded.
+///
+/// # Panics
+///
+/// Panics if `rate_per_s` is not positive or `num` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_datagen::arrivals::poisson_arrival_times_s;
+/// let times = poisson_arrival_times_s(100.0, 1_000, 7);
+/// assert_eq!(times.len(), 1_000);
+/// assert!(times.windows(2).all(|w| w[0] <= w[1]));
+/// // Mean gap ≈ 1/rate.
+/// let mean_gap = times.last().unwrap() / 1_000.0;
+/// assert!((mean_gap - 0.01).abs() < 0.002);
+/// ```
+pub fn poisson_arrival_times_s(rate_per_s: f64, num: usize, seed: u64) -> Vec<f64> {
+    assert!(num > 0, "need at least one arrival");
+    let mut rng = seeded_rng(seed);
+    let mut clock = 0.0f64;
+    (0..num)
+        .map(|_| {
+            clock += exp_interarrival_s(&mut rng, rate_per_s);
+            clock
+        })
+        .collect()
+}
+
+/// [`poisson_arrival_times_s`] rounded to whole nanoseconds — the unit
+/// the serving layer's clocks use. Each absolute time is rounded once,
+/// so the nanosecond trace deviates from the seconds trace by at most
+/// half a nanosecond per arrival (no cumulative drift).
+pub fn poisson_arrival_times_ns(rate_per_s: f64, num: usize, seed: u64) -> Vec<u64> {
+    poisson_arrival_times_s(rate_per_s, num, seed)
+        .into_iter()
+        .map(|t| (t * 1e9).round() as u64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrival_times_are_deterministic_and_monotone() {
+        let a = poisson_arrival_times_s(50.0, 500, 3);
+        let b = poisson_arrival_times_s(50.0, 500, 3);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(a[0] > 0.0);
+    }
+
+    #[test]
+    fn seconds_and_nanoseconds_streams_agree() {
+        let s = poisson_arrival_times_s(200.0, 300, 9);
+        let ns = poisson_arrival_times_ns(200.0, 300, 9);
+        for (a, b) in s.iter().zip(&ns) {
+            assert!((a * 1e9 - *b as f64).abs() <= 0.5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mean_rate_tracks_request() {
+        let times = poisson_arrival_times_s(1_000.0, 20_000, 11);
+        let measured = 20_000.0 / times.last().unwrap();
+        assert!(
+            (measured - 1_000.0).abs() < 30.0,
+            "measured rate {measured} too far from 1000"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = poisson_arrival_times_s(0.0, 10, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_arrivals_rejected() {
+        let _ = poisson_arrival_times_s(1.0, 0, 1);
+    }
+}

@@ -17,13 +17,18 @@
 //!   can reason about sizes no laptop can materialize.
 //! * **Chunk payloads** ([`chunks`]): deterministic synthetic document
 //!   chunks for the RAG augmentation step.
+//! * **Arrival processes** ([`arrivals`]): seeded Poisson arrival streams
+//!   shared by the queueing simulator and the serving-layer load
+//!   generator, so oracle comparisons see bit-identical traces.
 
+pub mod arrivals;
 pub mod chunks;
 pub mod corpus;
 pub mod query;
 pub mod scale;
 pub mod zipf;
 
+pub use arrivals::{poisson_arrival_times_ns, poisson_arrival_times_s};
 pub use chunks::ChunkStore;
 pub use corpus::{Corpus, CorpusSpec};
 pub use query::{QuerySet, QuerySpec};

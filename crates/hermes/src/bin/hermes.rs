@@ -47,6 +47,8 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(&opts),
         "trace" => cmd_trace(&opts),
         "stats" => cmd_stats(&opts),
+        "serve" => cmd_serve(&opts),
+        "loadgen" => cmd_loadgen(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -77,12 +79,29 @@ USAGE:
                 [--threads T]
   hermes stats  [--docs N] [--dim D] [--topics T] [--clusters C]
                 [--deep M] [--queries Q] [--seed S] [--threads T]
+  hermes serve  [--docs N] [--dim D] [--topics T] [--clusters C]
+                [--deep M] [--queries Q] [--seed S] [--threads T]
+                [--requests R] [--qps RATE] [--capacity C]
+                [--max-batch B] [--slo-us US]
+  hermes loadgen [--docs N] [--dim D] [--topics T] [--clusters C]
+                [--deep M] [--queries Q] [--seed S] [--threads T]
+                [--requests R] [--qps RATE] [--users U] [--think-us US]
+                [--capacity C] [--max-batch B] [--slo-us US] [--smoke]
+
+`serve` runs one open-loop serving session and reports per-class
+latency; `loadgen` drives closed and open loops and asserts every
+served result bit-identical to standalone engine execution (--smoke
+shrinks the workload for CI).
 
 Defaults: docs 20000, dim 64, topics 10, clusters 10, deep 3, k 5,
 queries 40, seed 42, batch 128, stride 16, nprobe 128, threads 0
-(full pool width).";
+(full pool width); serving: requests 200, qps 500, users 8, think-us 0,
+capacity 64, max-batch 8, no SLO.";
 
 type Flags = HashMap<String, String>;
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["smoke"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut out = Flags::new();
@@ -91,6 +110,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got `{}`", args[i]))?;
+        if BOOL_FLAGS.contains(&key) {
+            out.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("flag --{key} is missing a value"))?;
@@ -325,6 +349,185 @@ fn cmd_stats(opts: &Flags) -> Result<(), String> {
     let summary = hermes::metrics::trace_report::render_summary(&snap)
         .map_err(|e| format!("unbalanced trace: {e}"))?;
     print!("{summary}");
+    Ok(())
+}
+
+fn get_f64(opts: &Flags, key: &str, default: f64) -> Result<f64, String> {
+    match opts.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key} wants a number, got `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn get_bool(opts: &Flags, key: &str) -> bool {
+    opts.get(key).is_some_and(|v| v != "false")
+}
+
+/// The serving workload every serving subcommand shares: a synthetic
+/// corpus + store from the common flags, the query set, and the server
+/// knobs.
+struct ServeSetup {
+    store: ClusteredStore,
+    queries: Vec<Vec<f32>>,
+    threads: usize,
+    requests: usize,
+    server_cfg: hermes::serve::ServerConfig,
+    slo_ns: Option<u64>,
+    seed: u64,
+}
+
+fn build_serve_setup(opts: &Flags) -> Result<ServeSetup, String> {
+    let (spec, cfg) = build_config(opts)?;
+    let num_queries = get_usize(opts, "queries", 40)?;
+    let corpus = Corpus::generate(spec);
+    let queries = QuerySet::generate(
+        &corpus,
+        QuerySpec::new(num_queries).with_seed(spec.seed.wrapping_add(7)),
+    );
+    let store = ClusteredStore::build(corpus.embeddings(), &cfg).map_err(|e| e.to_string())?;
+    let slo_us = get_u64(opts, "slo-us", 0)?;
+    Ok(ServeSetup {
+        store,
+        queries: queries.to_vecs(),
+        threads: get_usize(opts, "threads", 0)?,
+        requests: get_usize(opts, "requests", 200)?,
+        server_cfg: hermes::serve::ServerConfig {
+            queue_capacity: get_usize(opts, "capacity", 64)?,
+            max_batch: get_usize(opts, "max-batch", 8)?,
+        },
+        slo_ns: (slo_us > 0).then_some(slo_us * 1_000),
+        seed: spec.seed,
+    })
+}
+
+/// The priority mix the serving subcommands offer: half standard, a
+/// quarter each interactive and batch.
+fn priority_mix() -> Vec<hermes::serve::Priority> {
+    use hermes::serve::Priority;
+    vec![
+        Priority::Interactive,
+        Priority::Standard,
+        Priority::Standard,
+        Priority::Batch,
+    ]
+}
+
+fn print_serve_report(label: &str, report: &hermes::serve::ServeReport) {
+    println!(
+        "{label}: {} completed, {} shed (queue full), {} expired, {} batches (mean size {:.2}, {} shard visits shared), busy {:.1}%",
+        report.completed,
+        report.shed_full,
+        report.expired,
+        report.batches,
+        report.mean_batch_size(),
+        report.shared_visits,
+        report.busy_fraction() * 100.0
+    );
+    println!(
+        "  latency p50 {:>8}  p95 {:>8}  p99 {:>8}  (ns bucket floors; wait p99 {})",
+        report.sojourn.p50(),
+        report.sojourn.p95(),
+        report.sojourn.p99(),
+        report.wait.p99()
+    );
+    for (p, hist) in hermes::serve::Priority::ALL.iter().zip(&report.sojourn_by_class) {
+        if hist.count() > 0 {
+            println!(
+                "  {:<12} {:>6} reqs  p50 {:>8}  p99 {:>8}",
+                p.label(),
+                hist.count(),
+                hist.p50(),
+                hist.p99()
+            );
+        }
+    }
+}
+
+fn cmd_serve(opts: &Flags) -> Result<(), String> {
+    let setup = build_serve_setup(opts)?;
+    let qps = get_f64(opts, "qps", 500.0)?;
+    if qps <= 0.0 {
+        return Err("--qps must be positive".into());
+    }
+    println!(
+        "serving open-loop: {} requests at {} qps (queue {}, max batch {})",
+        setup.requests, qps, setup.server_cfg.queue_capacity, setup.server_cfg.max_batch
+    );
+    let engine = Engine::for_store(&setup.store);
+    let mut server = hermes::serve::Server::new(
+        hermes::serve::EngineBackend::new(engine, setup.threads),
+        setup.server_cfg,
+    );
+    let mut spec = hermes::serve::OpenLoopSpec::new(setup.requests, qps)
+        .with_seed(setup.seed.wrapping_add(11))
+        .with_priority_cycle(priority_mix());
+    if let Some(slo) = setup.slo_ns {
+        spec = spec.with_slo_ns(slo);
+    }
+    let load = hermes::serve::run_open_loop(&mut server, &setup.queries, &spec)
+        .map_err(|e| e.to_string())?;
+    print_serve_report("open loop", &load.serve);
+    Ok(())
+}
+
+fn cmd_loadgen(opts: &Flags) -> Result<(), String> {
+    let smoke = get_bool(opts, "smoke");
+    let mut setup = build_serve_setup(opts)?;
+    if smoke && !opts.contains_key("requests") {
+        setup.requests = 60;
+    }
+    let qps = get_f64(opts, "qps", 500.0)?;
+    let users = get_usize(opts, "users", 8)?;
+    let think_us = get_u64(opts, "think-us", 0)?;
+    if qps <= 0.0 {
+        return Err("--qps must be positive".into());
+    }
+    if users == 0 {
+        return Err("--users must be positive".into());
+    }
+    let engine = Engine::for_store(&setup.store);
+
+    let mut closed_spec = hermes::serve::ClosedLoopSpec::new(setup.requests, users)
+        .with_think_ns(think_us * 1_000)
+        .with_priority_cycle(priority_mix());
+    let mut open_spec = hermes::serve::OpenLoopSpec::new(setup.requests, qps)
+        .with_seed(setup.seed.wrapping_add(11))
+        .with_priority_cycle(priority_mix());
+    if let Some(slo) = setup.slo_ns {
+        closed_spec = closed_spec.with_slo_ns(slo);
+        open_spec = open_spec.with_slo_ns(slo);
+    }
+
+    let mut server = hermes::serve::Server::new(
+        hermes::serve::EngineBackend::new(engine, setup.threads),
+        setup.server_cfg,
+    );
+    let closed = hermes::serve::run_closed_loop(&mut server, &setup.queries, &closed_spec)
+        .map_err(|e| e.to_string())?;
+    let mut server = hermes::serve::Server::new(
+        hermes::serve::EngineBackend::new(engine, setup.threads),
+        setup.server_cfg,
+    );
+    let open = hermes::serve::run_open_loop(&mut server, &setup.queries, &open_spec)
+        .map_err(|e| e.to_string())?;
+
+    // The bar that makes this a verification step, not just a driver:
+    // every batched/coalesced completion must carry exactly the outcome
+    // the standalone engine produces for its query.
+    let mut checked = 0usize;
+    for c in closed.completions.iter().chain(open.completions.iter()) {
+        let standalone = engine.execute(&c.request.query).map_err(|e| e.to_string())?;
+        if c.outcome.as_ref() != Some(&standalone) {
+            return Err(format!(
+                "request {} diverged from standalone engine execution",
+                c.request.id
+            ));
+        }
+        checked += 1;
+    }
+    print_serve_report("closed loop", &closed.serve);
+    print_serve_report("open loop", &open.serve);
+    println!("served results bit-identical to standalone execution ({checked} requests checked)");
     Ok(())
 }
 

@@ -12,6 +12,7 @@
 //! | [`kmeans`] | `hermes-kmeans` | Lloyd's K-means + seed-swept splitting |
 //! | [`datagen`] | `hermes-datagen` | synthetic corpora, queries, scale accounting |
 //! | [`rag`] | `hermes-rag` | strided RAG pipeline, baselines, quality model |
+//! | [`serve`] | `hermes-serve` | online serving: admission control, SLO scheduling, coalesced dynamic batching |
 //! | [`perfmodel`] | `hermes-perfmodel` | calibrated CPU/GPU/LLM cost models |
 //! | [`sim`] | `hermes-sim` | multi-node serving simulator |
 //! | [`metrics`] | `hermes-metrics` | NDCG/recall, energy accounting, reports |
@@ -48,6 +49,7 @@ pub use hermes_perfmodel as perfmodel;
 pub use hermes_pool as pool;
 pub use hermes_quant as quant;
 pub use hermes_rag as rag;
+pub use hermes_serve as serve;
 pub use hermes_sim as sim;
 pub use hermes_trace as trace;
 
@@ -70,6 +72,9 @@ pub mod prelude {
     };
     pub use hermes_quant::{Codec, CodecSpec};
     pub use hermes_rag::{HashEncoder, RagPipeline, Retriever, RetrieverKind};
+    pub use hermes_serve::{
+        ClosedLoopSpec, EngineBackend, OpenLoopSpec, Priority, Server, ServerConfig,
+    };
     pub use hermes_sim::{
         Deployment, DvfsMode, MultiNodeSim, PipelinePolicy, RetrievalScheme, ServingConfig,
     };

@@ -1,0 +1,43 @@
+//! Online serving layer: admission control, SLO-aware scheduling and
+//! cluster-coalesced dynamic batching over the core engine.
+//!
+//! The paper's at-scale argument (Section 6, "millions of users")
+//! assumes a continuous request stream, while [`hermes_core`] executes
+//! one plan at a time. This crate closes that gap with four pieces:
+//!
+//! * [`queue`] — a bounded [`AdmissionQueue`] with priority classes and
+//!   load shedding: overload rejects at the door instead of growing an
+//!   unbounded backlog that would stall the pool.
+//! * [`batch`] — cluster-overlap analysis of a formed batch: which
+//!   requests share shard visits when the scatter is coalesced.
+//! * [`server`] — the discrete-event [`Server`]: virtual-time dispatch
+//!   loop, deadline expiry, per-class latency histograms
+//!   ([`hermes_trace::hist::LogHistogram`]), pluggable [`Backend`]
+//!   ([`EngineBackend`] for real execution via
+//!   [`hermes_core::exec::Engine::execute_coalesced`],
+//!   [`FixedServiceBackend`] as the queue model in backend form).
+//! * [`loadgen`] — open-loop (seeded Poisson, shared with
+//!   `hermes_sim::queueing` through [`hermes_datagen::arrivals`]) and
+//!   closed-loop (users + think time) drivers.
+//!
+//! **Equivalence bar:** batching, coalescing, priorities and deadlines
+//! change *when* work runs, never *what it returns* — every completion
+//! carries exactly the [`hermes_core::search::SearchOutcome`] that
+//! standalone `Engine::execute` produces for its query
+//! (`tests/serving_equivalence.rs`), and with a fixed-service backend
+//! the timing itself reproduces the `sim` queueing model
+//! (`tests/serving_oracle.rs`).
+
+pub mod batch;
+pub mod loadgen;
+pub mod queue;
+pub mod request;
+pub mod server;
+
+pub use batch::{coalesce_groups, BatchPlan};
+pub use loadgen::{run_closed_loop, run_open_loop, ClosedLoopSpec, LoadReport, OpenLoopSpec};
+pub use queue::AdmissionQueue;
+pub use request::{Completion, Priority, Request, ShedReason, ShedRecord};
+pub use server::{
+    Backend, BatchOutcome, EngineBackend, FixedServiceBackend, ServeReport, Server, ServerConfig,
+};

@@ -21,5 +21,7 @@ pub mod report;
 
 pub use deployment::{ClusterNode, Deployment};
 pub use engine::{DvfsMode, MultiNodeSim, PipelinePolicy, RetrievalScheme, ServingConfig};
-pub use queueing::{simulate_md1, QueueReport};
+pub use queueing::{
+    simulate_md1, simulate_md1_trace, simulate_queue_on_arrivals, QueueReport, QueueTrace,
+};
 pub use report::{SimReport, StageSpan};

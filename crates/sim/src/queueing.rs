@@ -7,8 +7,16 @@
 //! under load, queueing inflates the tail. This module runs a
 //! deterministic single-server queue (arrivals seeded, service time from
 //! the retrieval cost model) and reports waiting + service percentiles.
+//!
+//! Arrival streams come from [`hermes_datagen::arrivals`], the same
+//! generator the serving layer's load generator uses — so
+//! `tests/serving_oracle.rs` can drive `hermes-serve` and this model
+//! with bit-identical traces and compare the results directly. The
+//! trace-level entry point is [`simulate_queue_on_arrivals`]; the
+//! seeded Poisson wrappers [`simulate_md1`] / [`simulate_md1_trace`]
+//! build on it.
 
-use hermes_math::rng::seeded_rng;
+use hermes_datagen::arrivals::poisson_arrival_times_s;
 use hermes_math::stats::{percentiles, Percentiles};
 
 /// Result of a queueing run.
@@ -20,6 +28,84 @@ pub struct QueueReport {
     pub sojourn: Percentiles,
     /// Fraction of batches that waited at all.
     pub delayed_fraction: f64,
+}
+
+/// Per-request output of a queueing run — everything [`QueueReport`]
+/// aggregates, before aggregation. The serving-oracle test compares the
+/// server's measured behaviour against these exact values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueTrace {
+    /// Sojourn time (wait + service) of each request, in arrival order,
+    /// seconds.
+    pub sojourns: Vec<f64>,
+    /// Measured busy fraction: total service time over the span from
+    /// time 0 to the last departure. Approaches offered ρ as the run
+    /// lengthens (when ρ < 1).
+    pub busy_fraction: f64,
+    /// Fraction of requests that waited at all.
+    pub delayed_fraction: f64,
+    /// Departure time of the last request, seconds.
+    pub makespan_s: f64,
+}
+
+impl QueueTrace {
+    /// Sojourn percentiles over the whole trace.
+    pub fn sojourn_percentiles(&self) -> Percentiles {
+        percentiles(&self.sojourns).expect("trace is non-empty")
+    }
+}
+
+/// Runs a single FIFO server with deterministic `service_s` per request
+/// over an explicit, non-decreasing arrival-time trace (seconds).
+///
+/// This is the D/1 half of M/D/1 with the arrival process factored out:
+/// feed it [`poisson_arrival_times_s`] and it *is* `simulate_md1`; feed
+/// it the trace a server was driven with and it predicts what that
+/// server should have measured.
+///
+/// # Panics
+///
+/// Panics if `service_s` is not positive or `arrivals_s` is empty.
+pub fn simulate_queue_on_arrivals(arrivals_s: &[f64], service_s: f64) -> QueueTrace {
+    assert!(service_s > 0.0, "service time must be positive");
+    assert!(!arrivals_s.is_empty(), "need at least one arrival");
+
+    let mut server_free_at = 0.0f64;
+    let mut sojourns = Vec::with_capacity(arrivals_s.len());
+    let mut delayed = 0usize;
+    for &arrival in arrivals_s {
+        let start = arrival.max(server_free_at);
+        if start > arrival {
+            delayed += 1;
+        }
+        let done = start + service_s;
+        server_free_at = done;
+        sojourns.push(done - arrival);
+    }
+    let busy = arrivals_s.len() as f64 * service_s;
+    QueueTrace {
+        sojourns,
+        busy_fraction: busy / server_free_at,
+        delayed_fraction: delayed as f64 / arrivals_s.len() as f64,
+        makespan_s: server_free_at,
+    }
+}
+
+/// [`simulate_md1`] with per-request resolution: seeded Poisson arrivals
+/// at `rate_per_s` through [`simulate_queue_on_arrivals`].
+///
+/// # Panics
+///
+/// Panics if `service_s` or `rate_per_s` is not positive or
+/// `num_batches` is zero.
+pub fn simulate_md1_trace(
+    rate_per_s: f64,
+    service_s: f64,
+    num_batches: usize,
+    seed: u64,
+) -> QueueTrace {
+    let arrivals = poisson_arrival_times_s(rate_per_s, num_batches, seed);
+    simulate_queue_on_arrivals(&arrivals, service_s)
 }
 
 /// Simulates `num_batches` Poisson batch arrivals at `rate_per_s` against
@@ -48,31 +134,11 @@ pub fn simulate_md1(
     num_batches: usize,
     seed: u64,
 ) -> QueueReport {
-    assert!(rate_per_s > 0.0, "arrival rate must be positive");
-    assert!(service_s > 0.0, "service time must be positive");
-    assert!(num_batches > 0, "need at least one batch");
-
-    let mut rng = seeded_rng(seed);
-    let mut clock = 0.0f64;
-    let mut server_free_at = 0.0f64;
-    let mut sojourns = Vec::with_capacity(num_batches);
-    let mut delayed = 0usize;
-    for _ in 0..num_batches {
-        // Exponential inter-arrival times.
-        let u: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
-        clock += -u.ln() / rate_per_s;
-        let start = clock.max(server_free_at);
-        if start > clock {
-            delayed += 1;
-        }
-        let done = start + service_s;
-        server_free_at = done;
-        sojourns.push(done - clock);
-    }
+    let trace = simulate_md1_trace(rate_per_s, service_s, num_batches, seed);
     QueueReport {
         utilization: rate_per_s * service_s,
-        sojourn: percentiles(&sojourns).expect("non-empty"),
-        delayed_fraction: delayed as f64 / num_batches as f64,
+        sojourn: trace.sojourn_percentiles(),
+        delayed_fraction: trace.delayed_fraction,
     }
 }
 
@@ -119,6 +185,47 @@ mod tests {
         let a = simulate_md1(0.5, 1.0, 100, 9);
         let b = simulate_md1(0.5, 1.0, 100, 9);
         assert_eq!(a.sojourn, b.sojourn);
+    }
+
+    #[test]
+    fn trace_aggregates_match_report() {
+        let trace = simulate_md1_trace(0.6, 1.0, 2_000, 5);
+        let report = simulate_md1(0.6, 1.0, 2_000, 5);
+        assert_eq!(trace.sojourn_percentiles(), report.sojourn);
+        assert_eq!(trace.delayed_fraction, report.delayed_fraction);
+        assert_eq!(trace.sojourns.len(), 2_000);
+    }
+
+    #[test]
+    fn busy_fraction_approaches_offered_load() {
+        let trace = simulate_md1_trace(0.5, 1.0, 50_000, 8);
+        assert!(
+            (trace.busy_fraction - 0.5).abs() < 0.02,
+            "busy fraction {} vs offered 0.5",
+            trace.busy_fraction
+        );
+    }
+
+    #[test]
+    fn explicit_arrivals_idle_server_has_pure_service_sojourns() {
+        // Arrivals spaced wider than the service time never queue.
+        let arrivals = [1.0, 3.0, 5.0, 7.0];
+        let trace = simulate_queue_on_arrivals(&arrivals, 1.5);
+        assert!(trace.sojourns.iter().all(|&s| (s - 1.5).abs() < 1e-12));
+        assert_eq!(trace.delayed_fraction, 0.0);
+        assert!((trace.makespan_s - 8.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_arrivals_back_to_back_queueing_is_exact() {
+        // All arrive at t=0.1: sojourns are 0.9, 1.9, 2.9 (service 1.0).
+        let arrivals = [0.1, 0.1, 0.1];
+        let trace = simulate_queue_on_arrivals(&arrivals, 1.0);
+        let expect = [1.0, 2.0, 3.0];
+        for (s, e) in trace.sojourns.iter().zip(&expect) {
+            assert!((s - e).abs() < 1e-12, "{s} vs {e}");
+        }
+        assert!((trace.delayed_fraction - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

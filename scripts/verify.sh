@@ -46,3 +46,15 @@ test -s "${trace_out}/trace.json"
 HERMES_THREADS=1 cargo run -p hermes --release --offline --quiet --bin hermes -- \
     trace --docs 4000 --dim 32 --queries 16 --out "${trace_out}/trace_w1.json"
 test -s "${trace_out}/trace_w1.json"
+
+# Serving smoke: `hermes loadgen --smoke` drives the serving layer with
+# a closed-loop then an open-loop workload and errors out unless every
+# batched/coalesced completion is bit-identical to a standalone
+# `Engine::execute` of the same query. A second pass at width 1 pins the
+# inline path; the ext_serving smoke re-checks the same bar from the
+# bench harness.
+echo "== hermes loadgen smoke (release) =="
+cargo run -p hermes --release --offline --quiet --bin hermes -- loadgen --smoke
+HERMES_THREADS=1 cargo run -p hermes --release --offline --quiet --bin hermes -- loadgen --smoke
+echo "== ext_serving smoke (release) =="
+HERMES_SMOKE=1 cargo run -p hermes-bench --release --offline --quiet --bin ext_serving

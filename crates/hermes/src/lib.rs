@@ -64,7 +64,7 @@ pub mod prelude {
     pub use hermes_index::{
         FlatIndex, HnswIndex, IvfIndex, SearchParams, VectorIndex,
     };
-    pub use hermes_math::{Mat, Metric, Neighbor};
+    pub use hermes_math::{simd_level, Mat, Metric, Neighbor, SimdLevel};
     pub use hermes_metrics::{ndcg_at_k, recall_at_k, CostBreakdown, EnergyMeter};
     pub use hermes_perfmodel::{
         ClusterPlanner, CpuPlatform, EncoderModel, GpuPlatform, InferenceModel, LlmModel,

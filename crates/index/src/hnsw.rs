@@ -214,10 +214,16 @@ impl HnswIndex {
 
     /// Scores a gathered batch of nodes — the blocked form of
     /// [`HnswIndex::similarity`], used by the neighbor-expansion step of
-    /// [`HnswIndex::search_layer`]. `out[i]` is bit-identical to
-    /// `self.similarity(query, nodes[i])`: the f32 path runs the register
-    /// tiles from [`hermes_math::block`], the f16 path interleaves four
-    /// copies of the sequential single-accumulator loop.
+    /// [`HnswIndex::search_layer`]. The f32 path runs the
+    /// level-dispatched register tiles from [`hermes_math::block`]: at
+    /// the scalar dispatch level `out[i]` is bit-identical to
+    /// `self.similarity(query, nodes[i])`, and at a SIMD level it is
+    /// bit-identical to that level's lane-ordered reduction reference
+    /// (the tier-B contract) — tail rows score through the scalar
+    /// `similarity`, whose value the per-level references agree with
+    /// within the pinned ULP bound. The f16 path interleaves four copies
+    /// of the sequential single-accumulator loop and stays scalar at
+    /// every level.
     fn score_nodes(&self, query: &[f32], nodes: &[u32], out: &mut [f32]) {
         debug_assert_eq!(nodes.len(), out.len());
         let dim = self.dim;
@@ -225,12 +231,14 @@ impl HnswIndex {
         let mut r = 0;
         match self.storage {
             VectorStorage::F32 => {
+                let level = hermes_math::simd::simd_level();
                 let row = |node: u32| {
                     let base = node as usize * dim;
                     &self.vectors[base..base + dim]
                 };
                 // Cosine divides by the query norm per row; hoist it once
-                // (the same op sequence the scalar kernel runs per call).
+                // (computed by the scalar kernel at every dispatch level,
+                // the same op sequence the per-row fallback runs).
                 let na = match self.metric {
                     Metric::Cosine => hermes_math::distance::norm(query),
                     _ => 0.0,
@@ -245,19 +253,19 @@ impl HnswIndex {
                     let mut t = [0.0f32; 4];
                     match self.metric {
                         Metric::InnerProduct => {
-                            hermes_math::block::inner_product_tile4(query, rows, &mut t);
+                            hermes_math::block::inner_product_tile4_at(level, query, rows, &mut t);
                             out[r..r + 4].copy_from_slice(&t);
                         }
                         Metric::L2 => {
-                            hermes_math::block::l2_sq_tile4(query, rows, &mut t);
+                            hermes_math::block::l2_sq_tile4_at(level, query, rows, &mut t);
                             for (o, v) in out[r..r + 4].iter_mut().zip(&t) {
                                 *o = -v;
                             }
                         }
                         Metric::Cosine => {
                             let mut sqs = [0.0f32; 4];
-                            hermes_math::block::sq_norm_tile4(rows, &mut sqs);
-                            hermes_math::block::inner_product_tile4(query, rows, &mut t);
+                            hermes_math::block::sq_norm_tile4_at(level, rows, &mut sqs);
+                            hermes_math::block::inner_product_tile4_at(level, query, rows, &mut t);
                             for i in 0..4 {
                                 let nb = sqs[i].sqrt();
                                 out[r + i] = if na == 0.0 || nb == 0.0 {
@@ -453,9 +461,13 @@ impl HnswIndex {
         // Neighbor expansion splits into gather → blocked score → admit.
         // Only the scoring is batched; visited-marking happens during the
         // gather and the admit loop runs sequentially against the live
-        // `results.worst_score()`, so the traversal (and therefore the
-        // output and the eval count) is bit-identical to scoring one
-        // neighbor at a time.
+        // `results.worst_score()`, so for any fixed dispatch level the
+        // traversal (and therefore the output and the eval count) is
+        // deterministic and identical to admitting one scored neighbor
+        // at a time. Scores carry the level's tier-B reduction order
+        // (see hermes_math::block), so traversals at different
+        // `HERMES_SIMD` levels may differ on near-ties — but never
+        // within a process, where the level is decided once.
         let mut batch: Vec<u32> = Vec::new();
         let mut scores: Vec<f32> = Vec::new();
         while let Some(Reverse(cand)) = candidates.pop() {

@@ -7,28 +7,57 @@
 //! the flat scan, the IVF inverted-list probe and the HNSW neighbour
 //! expansion now consume in chunks of [`BLOCK`].
 //!
-//! # Determinism contract
+//! Every kernel exists at each runtime dispatch level
+//! ([`SimdLevel`](crate::simd::SimdLevel)): the portable scalar
+//! reference, AVX2+FMA on x86_64, NEON on aarch64. The plain entry
+//! points (`inner_product_block`, …) run at the process-wide
+//! [`simd_level`](crate::simd::simd_level); the `*_at` forms take an
+//! explicit level so equivalence suites can pin every runnable kernel
+//! in one process. An unsupported level scores via the scalar
+//! reference.
 //!
-//! Every blocked kernel performs, **per row, the exact same sequence of
-//! f32 operations as its scalar reference** (`l2_sq`, `inner_product`,
-//! `cosine`): four lane accumulators over chunks of 4, lanes summed in
-//! order, then a sequential tail. Tiling only interleaves *independent*
-//! per-row accumulations, so blocked results are bit-identical to the
-//! scalar loop — the engine-equivalence pins and recall goldens hold
-//! unchanged. `tests/properties.rs` asserts the bit equality across
-//! dims 1..=80 and all metrics.
+//! # Determinism contract (two tiers)
+//!
+//! * **Tier A — bit-identical at every level.** The SQ8
+//!   ([`sq8_ip_block_at`], [`sq8_l2_block_at`]) and PQ/ADC
+//!   ([`adc_block_at`]) kernels vectorize *across codes* — one SIMD
+//!   lane per code, each code's accumulator folded sequentially over
+//!   dimensions with mul and add kept separate — so every level
+//!   performs, per code, the exact scalar operation sequence and
+//!   returns the exact scalar bits.
+//! * **Tier B — pinned reduction order per level.** The f32 kernels
+//!   vectorize *within a row*, so each level reassociates the
+//!   reduction differently. Per row, each level is bit-identical to
+//!   the deterministic lane-ordered reference
+//!   (`hermes_testkit::lane_ordered_fold`) at that level's lane
+//!   count/fusion mode — scalar: 4 unfused lanes; AVX2: 8 fused; NEON:
+//!   4 fused — and levels agree with each other within the pinned ULP
+//!   bound recorded in EXPERIMENTS.md. Tiling only interleaves
+//!   *independent* per-row accumulations, so blocked results at a
+//!   level are bit-identical to that level's single-row kernel, and
+//!   every within-process equivalence pin (engine vs legacy, blocked
+//!   vs fused scans) holds bit-for-bit at whatever level is selected.
+//!
+//! `tests/properties.rs` asserts both tiers across dims 1..=80, all
+//! metrics and every available level; `tests/simd_differential.rs`
+//! fuzzes the cross-level ULP bound with adversarial values.
 //!
 //! Unlike the scalar kernels (which only `debug_assert!` shapes), the
 //! blocked entry points validate dimensions with hard asserts — once
 //! per block instead of once per vector, so the checks are off the hot
 //! path *and* release builds can no longer silently truncate.
 
-use crate::distance::{cosine, inner_product, l2_sq, norm};
+use crate::distance::{inner_product, l2_sq, norm};
 use crate::matrix::Mat;
+use crate::simd::{simd_level, SimdLevel};
 
 /// Rows per scan chunk: scan loops score `BLOCK` rows into a stack
 /// buffer, then offer the whole buffer to the top-k selector at once.
-pub const BLOCK: usize = 16;
+/// 64 rows amortize the per-block dispatch and length checks and give
+/// the 8-wide AVX2 code-gather tiles long full-speed runs; admission
+/// into the top-k heap stays per-element and in row order, so the
+/// block size never changes results.
+pub const BLOCK: usize = 64;
 
 /// Rows per register tile inside a kernel: `TILE` independent
 /// accumulator sets stay live so one loaded query chunk is reused
@@ -56,8 +85,12 @@ fn validate_block(query: &[f32], rows: &[f32], dim: usize, n: usize) {
     );
 }
 
-/// `a · b` for four rows at once; per row identical to
-/// [`inner_product`].
+// ---------------------------------------------------------------------------
+// Scalar reference tiles (4 unfused lanes — the portable tier-B semantics).
+// ---------------------------------------------------------------------------
+
+/// `a · b` for four rows at once at the scalar level; per row identical
+/// to [`inner_product`].
 #[inline]
 pub fn inner_product_tile4(query: &[f32], rows: [&[f32]; TILE], out: &mut [f32; TILE]) {
     let dim = query.len();
@@ -82,7 +115,8 @@ pub fn inner_product_tile4(query: &[f32], rows: [&[f32]; TILE], out: &mut [f32; 
     }
 }
 
-/// `||a - b||^2` for four rows at once; per row identical to [`l2_sq`].
+/// `||a - b||^2` for four rows at once at the scalar level; per row
+/// identical to [`l2_sq`].
 #[inline]
 pub fn l2_sq_tile4(query: &[f32], rows: [&[f32]; TILE], out: &mut [f32; TILE]) {
     let dim = query.len();
@@ -109,8 +143,9 @@ pub fn l2_sq_tile4(query: &[f32], rows: [&[f32]; TILE], out: &mut [f32; TILE]) {
     }
 }
 
-/// `||b||^2` for four rows at once; per row identical to
-/// `inner_product(b, b)` (the squared-norm half of [`cosine`]).
+/// `||b||^2` for four rows at once at the scalar level; per row
+/// identical to `inner_product(b, b)` (the squared-norm half of
+/// [`cosine`](crate::distance::cosine)).
 #[inline]
 pub fn sq_norm_tile4(rows: [&[f32]; TILE], out: &mut [f32; TILE]) {
     let dim = rows[0].len();
@@ -134,6 +169,96 @@ pub fn sq_norm_tile4(rows: [&[f32]; TILE], out: &mut [f32; TILE]) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Level-dispatched rows and tiles.
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn ip_row_at(level: SimdLevel, q: &[f32], x: &[f32]) -> f32 {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if level.is_supported() => unsafe { crate::simd::avx2::ip_row(q, x) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { crate::simd::neon::ip_row(q, x) },
+        _ => inner_product(q, x),
+    }
+}
+
+#[inline]
+fn l2_row_at(level: SimdLevel, q: &[f32], x: &[f32]) -> f32 {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if level.is_supported() => unsafe { crate::simd::avx2::l2_row(q, x) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { crate::simd::neon::l2_row(q, x) },
+        _ => l2_sq(q, x),
+    }
+}
+
+#[inline]
+fn sq_norm_row_at(level: SimdLevel, x: &[f32]) -> f32 {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if level.is_supported() => unsafe { crate::simd::avx2::sq_norm_row(x) },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { crate::simd::neon::sq_norm_row(x) },
+        _ => inner_product(x, x),
+    }
+}
+
+/// [`inner_product_tile4`] at an explicit dispatch level — the form the
+/// HNSW neighbour expansion feeds with gathered (non-contiguous) rows.
+#[inline]
+pub fn inner_product_tile4_at(
+    level: SimdLevel,
+    query: &[f32],
+    rows: [&[f32]; TILE],
+    out: &mut [f32; TILE],
+) {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if level.is_supported() => unsafe {
+            crate::simd::avx2::ip_tile4(query, rows, out)
+        },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { crate::simd::neon::ip_tile4(query, rows, out) },
+        _ => inner_product_tile4(query, rows, out),
+    }
+}
+
+/// [`l2_sq_tile4`] at an explicit dispatch level.
+#[inline]
+pub fn l2_sq_tile4_at(
+    level: SimdLevel,
+    query: &[f32],
+    rows: [&[f32]; TILE],
+    out: &mut [f32; TILE],
+) {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if level.is_supported() => unsafe {
+            crate::simd::avx2::l2_tile4(query, rows, out)
+        },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { crate::simd::neon::l2_tile4(query, rows, out) },
+        _ => l2_sq_tile4(query, rows, out),
+    }
+}
+
+/// [`sq_norm_tile4`] at an explicit dispatch level.
+#[inline]
+pub fn sq_norm_tile4_at(level: SimdLevel, rows: [&[f32]; TILE], out: &mut [f32; TILE]) {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if level.is_supported() => unsafe {
+            crate::simd::avx2::sq_norm_tile4(rows, out)
+        },
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => unsafe { crate::simd::neon::sq_norm_tile4(rows, out) },
+        _ => sq_norm_tile4(rows, out),
+    }
+}
+
 #[inline(always)]
 fn tile_rows(rows: &[f32], dim: usize, r: usize) -> [&[f32]; TILE] {
     let b = r * dim;
@@ -145,59 +270,85 @@ fn tile_rows(rows: &[f32], dim: usize, r: usize) -> [&[f32]; TILE] {
     ]
 }
 
+// ---------------------------------------------------------------------------
+// Blocked f32 entry points (tier B).
+// ---------------------------------------------------------------------------
+
 /// Dot product of `query` against each row of a contiguous row-major
-/// block; `out[i]` is bit-identical to `inner_product(query, row_i)`.
+/// block at an explicit dispatch level; `out[i]` is bit-identical to
+/// that level's single-row kernel (at [`SimdLevel::Scalar`], to
+/// [`inner_product`]).
 ///
 /// # Panics
 ///
 /// Panics if `query.len() != dim` or `rows.len() != out.len() * dim`.
-pub fn inner_product_block(query: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+pub fn inner_product_block_at(
+    level: SimdLevel,
+    query: &[f32],
+    rows: &[f32],
+    dim: usize,
+    out: &mut [f32],
+) {
     validate_block(query, rows, dim, out.len());
     let n = out.len();
     let mut t4 = [0.0f32; TILE];
     let mut r = 0;
     while r + TILE <= n {
-        inner_product_tile4(query, tile_rows(rows, dim, r), &mut t4);
+        inner_product_tile4_at(level, query, tile_rows(rows, dim, r), &mut t4);
         out[r..r + TILE].copy_from_slice(&t4);
         r += TILE;
     }
     while r < n {
-        out[r] = inner_product(query, &rows[r * dim..(r + 1) * dim]);
+        out[r] = ip_row_at(level, query, &rows[r * dim..(r + 1) * dim]);
         r += 1;
     }
+}
+
+/// [`inner_product_block_at`] at the process-wide dispatch level.
+pub fn inner_product_block(query: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    inner_product_block_at(simd_level(), query, rows, dim, out);
 }
 
 /// Squared Euclidean distance of `query` to each row of a contiguous
-/// block; `out[i]` is bit-identical to `l2_sq(query, row_i)`.
+/// block at an explicit dispatch level; `out[i]` is bit-identical to
+/// that level's single-row kernel (at [`SimdLevel::Scalar`], to
+/// [`l2_sq`]).
 ///
 /// # Panics
 ///
 /// Panics if `query.len() != dim` or `rows.len() != out.len() * dim`.
-pub fn l2_sq_block(query: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+pub fn l2_sq_block_at(level: SimdLevel, query: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
     validate_block(query, rows, dim, out.len());
     let n = out.len();
     let mut t4 = [0.0f32; TILE];
     let mut r = 0;
     while r + TILE <= n {
-        l2_sq_tile4(query, tile_rows(rows, dim, r), &mut t4);
+        l2_sq_tile4_at(level, query, tile_rows(rows, dim, r), &mut t4);
         out[r..r + TILE].copy_from_slice(&t4);
         r += TILE;
     }
     while r < n {
-        out[r] = l2_sq(query, &rows[r * dim..(r + 1) * dim]);
+        out[r] = l2_row_at(level, query, &rows[r * dim..(r + 1) * dim]);
         r += 1;
     }
 }
 
-/// Cosine similarity of `query` to each row of a contiguous block;
-/// `out[i]` is bit-identical to `cosine(query, row_i)` (including the
-/// zero-vector → `0.0` convention). The query norm is computed once per
-/// block instead of once per row.
+/// [`l2_sq_block_at`] at the process-wide dispatch level.
+pub fn l2_sq_block(query: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    l2_sq_block_at(simd_level(), query, rows, dim, out);
+}
+
+/// Cosine similarity of `query` to each row of a contiguous block at an
+/// explicit dispatch level (including the zero-vector → `0.0`
+/// convention). The query norm is computed once per block by the
+/// *scalar* kernel at every level, so `na` is bit-identical across
+/// levels and only the per-row dot product and squared norm carry the
+/// level's reduction order.
 ///
 /// # Panics
 ///
 /// Panics if `query.len() != dim` or `rows.len() != out.len() * dim`.
-pub fn cosine_block(query: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+pub fn cosine_block_at(level: SimdLevel, query: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
     validate_block(query, rows, dim, out.len());
     let na = norm(query);
     let n = out.len();
@@ -206,8 +357,8 @@ pub fn cosine_block(query: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
     let mut r = 0;
     while r + TILE <= n {
         let tile = tile_rows(rows, dim, r);
-        inner_product_tile4(query, tile, &mut ips);
-        sq_norm_tile4(tile, &mut sqs);
+        inner_product_tile4_at(level, query, tile, &mut ips);
+        sq_norm_tile4_at(level, tile, &mut sqs);
         for t in 0..TILE {
             let nb = sqs[t].sqrt();
             out[r + t] = if na == 0.0 || nb == 0.0 {
@@ -219,21 +370,32 @@ pub fn cosine_block(query: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
         r += TILE;
     }
     while r < n {
-        out[r] = cosine(query, &rows[r * dim..(r + 1) * dim]);
+        let row = &rows[r * dim..(r + 1) * dim];
+        let nb = sq_norm_row_at(level, row).sqrt();
+        out[r] = if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            ip_row_at(level, query, row) / (na * nb)
+        };
         r += 1;
     }
 }
 
+/// [`cosine_block_at`] at the process-wide dispatch level.
+pub fn cosine_block(query: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+    cosine_block_at(simd_level(), query, rows, dim, out);
+}
+
 /// Index and squared distance of the row of `rows` nearest to `query`
-/// under L2 — the blocked argmin behind K-means assignment, IVF coarse
-/// probing and PQ subspace encoding. First index wins ties, matching
-/// the scalar `d < best` loop it replaces. Returns `(0, +inf)` for an
-/// empty matrix.
+/// under L2 at an explicit dispatch level — the blocked argmin behind
+/// K-means assignment, IVF coarse probing and PQ subspace encoding.
+/// First index wins ties, matching the scalar `d < best` loop it
+/// replaces. Returns `(0, +inf)` for an empty matrix.
 ///
 /// # Panics
 ///
 /// Panics if `query.len() != rows.cols()`.
-pub fn nearest_row_l2(query: &[f32], rows: &Mat) -> (usize, f32) {
+pub fn nearest_row_l2_at(level: SimdLevel, query: &[f32], rows: &Mat) -> (usize, f32) {
     let dim = rows.cols();
     let data = rows.as_slice();
     let n = rows.rows();
@@ -243,7 +405,13 @@ pub fn nearest_row_l2(query: &[f32], rows: &Mat) -> (usize, f32) {
     let mut base = 0;
     while base < n {
         let bn = BLOCK.min(n - base);
-        l2_sq_block(query, &data[base * dim..(base + bn) * dim], dim, &mut buf[..bn]);
+        l2_sq_block_at(
+            level,
+            query,
+            &data[base * dim..(base + bn) * dim],
+            dim,
+            &mut buf[..bn],
+        );
         for (j, &d) in buf[..bn].iter().enumerate() {
             if d < best_d {
                 best_d = d;
@@ -255,10 +423,255 @@ pub fn nearest_row_l2(query: &[f32], rows: &Mat) -> (usize, f32) {
     (best, best_d)
 }
 
+/// [`nearest_row_l2_at`] at the process-wide dispatch level.
+pub fn nearest_row_l2(query: &[f32], rows: &Mat) -> (usize, f32) {
+    nearest_row_l2_at(simd_level(), query, rows)
+}
+
+// ---------------------------------------------------------------------------
+// Blocked code-scoring kernels (tier A — bit-identical at every level).
+// ---------------------------------------------------------------------------
+
+#[track_caller]
+fn validate_codes(dim: usize, codes: &[u8], n: usize, what: &str) {
+    assert_eq!(
+        codes.len(),
+        n * dim,
+        "{what} block size mismatch: {} bytes is not {n} codes x {dim} bytes",
+        codes.len()
+    );
+}
+
+/// SQ8 asymmetric inner product of `query` against a contiguous block
+/// of one-byte-per-dimension codes: `out[i] = Σ_d q[d] * (mins[d] +
+/// code_i[d] as f32 * scales[d])`, accumulated sequentially over `d`
+/// per code. **Bit-identical at every dispatch level** (tier A): the
+/// SIMD forms vectorize across codes, one lane per code, mul and add
+/// kept separate.
+///
+/// # Panics
+///
+/// Panics if `mins`/`scales` don't match `query.len()` or
+/// `codes.len() != out.len() * query.len()`.
+pub fn sq8_ip_block_at(
+    level: SimdLevel,
+    query: &[f32],
+    mins: &[f32],
+    scales: &[f32],
+    codes: &[u8],
+    out: &mut [f32],
+) {
+    let dim = query.len();
+    assert_eq!(mins.len(), dim, "SQ8 mins length mismatch");
+    assert_eq!(scales.len(), dim, "SQ8 scales length mismatch");
+    validate_codes(dim, codes, out.len(), "SQ8 code");
+    let mut r = 0;
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if level.is_supported() => {
+            r = unsafe { crate::simd::avx2::sq8_ip_tiles(query, mins, scales, codes, out) };
+        }
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => {
+            r = unsafe { crate::simd::neon::sq8_ip_tiles(query, mins, scales, codes, out) };
+        }
+        _ => {}
+    }
+    sq8_ip_scalar(query, mins, scales, codes, out, r);
+}
+
+/// Scalar tier-A SQ8 inner product from code `start` on: 4-code
+/// register tiles sharing each `(q, min, scale)` triple, then single
+/// codes — every shape folds dimensions in the same order, so the
+/// tiling never changes bits.
+fn sq8_ip_scalar(
+    query: &[f32],
+    mins: &[f32],
+    scales: &[f32],
+    codes: &[u8],
+    out: &mut [f32],
+    start: usize,
+) {
+    let dim = query.len();
+    let n = out.len();
+    let mut r = start;
+    while r + 4 <= n {
+        let c0 = &codes[r * dim..(r + 1) * dim];
+        let c1 = &codes[(r + 1) * dim..(r + 2) * dim];
+        let c2 = &codes[(r + 2) * dim..(r + 3) * dim];
+        let c3 = &codes[(r + 3) * dim..(r + 4) * dim];
+        let mut acc = [0.0f32; 4];
+        for d in 0..dim {
+            let q = query[d];
+            let min = mins[d];
+            let scale = scales[d];
+            acc[0] += q * (min + c0[d] as f32 * scale);
+            acc[1] += q * (min + c1[d] as f32 * scale);
+            acc[2] += q * (min + c2[d] as f32 * scale);
+            acc[3] += q * (min + c3[d] as f32 * scale);
+        }
+        out[r..r + 4].copy_from_slice(&acc);
+        r += 4;
+    }
+    while r < n {
+        let code = &codes[r * dim..(r + 1) * dim];
+        let mut acc = 0.0f32;
+        for d in 0..dim {
+            acc += query[d] * (mins[d] + code[d] as f32 * scales[d]);
+        }
+        out[r] = acc;
+        r += 1;
+    }
+}
+
+/// SQ8 asymmetric **negated** squared L2 distance (similarity
+/// orientation): `out[i] = -Σ_d (q[d] - dequant_i[d])²`. Bit-identical
+/// at every dispatch level (tier A); the sign flip matches scalar
+/// unary negation bit-for-bit, `-0.0` included.
+///
+/// # Panics
+///
+/// Same shape panics as [`sq8_ip_block_at`].
+pub fn sq8_l2_block_at(
+    level: SimdLevel,
+    query: &[f32],
+    mins: &[f32],
+    scales: &[f32],
+    codes: &[u8],
+    out: &mut [f32],
+) {
+    let dim = query.len();
+    assert_eq!(mins.len(), dim, "SQ8 mins length mismatch");
+    assert_eq!(scales.len(), dim, "SQ8 scales length mismatch");
+    validate_codes(dim, codes, out.len(), "SQ8 code");
+    let mut r = 0;
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if level.is_supported() => {
+            r = unsafe { crate::simd::avx2::sq8_l2_tiles(query, mins, scales, codes, out) };
+        }
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => {
+            r = unsafe { crate::simd::neon::sq8_l2_tiles(query, mins, scales, codes, out) };
+        }
+        _ => {}
+    }
+    sq8_l2_scalar(query, mins, scales, codes, out, r);
+}
+
+/// Scalar tier-A SQ8 negated-L2 from code `start` on; see
+/// [`sq8_ip_scalar`].
+fn sq8_l2_scalar(
+    query: &[f32],
+    mins: &[f32],
+    scales: &[f32],
+    codes: &[u8],
+    out: &mut [f32],
+    start: usize,
+) {
+    let dim = query.len();
+    let n = out.len();
+    let mut r = start;
+    while r + 4 <= n {
+        let c0 = &codes[r * dim..(r + 1) * dim];
+        let c1 = &codes[(r + 1) * dim..(r + 2) * dim];
+        let c2 = &codes[(r + 2) * dim..(r + 3) * dim];
+        let c3 = &codes[(r + 3) * dim..(r + 4) * dim];
+        let mut acc = [0.0f32; 4];
+        for d in 0..dim {
+            let q = query[d];
+            let min = mins[d];
+            let scale = scales[d];
+            let d0 = q - (min + c0[d] as f32 * scale);
+            let d1 = q - (min + c1[d] as f32 * scale);
+            let d2 = q - (min + c2[d] as f32 * scale);
+            let d3 = q - (min + c3[d] as f32 * scale);
+            acc[0] += d0 * d0;
+            acc[1] += d1 * d1;
+            acc[2] += d2 * d2;
+            acc[3] += d3 * d3;
+        }
+        for (o, a) in out[r..r + 4].iter_mut().zip(&acc) {
+            *o = -a;
+        }
+        r += 4;
+    }
+    while r < n {
+        let code = &codes[r * dim..(r + 1) * dim];
+        let mut acc = 0.0f32;
+        for d in 0..dim {
+            let diff = query[d] - (mins[d] + code[d] as f32 * scales[d]);
+            acc += diff * diff;
+        }
+        out[r] = -acc;
+        r += 1;
+    }
+}
+
+/// PQ/ADC table walk over a contiguous block of `m`-byte codes:
+/// `out[i] = Σ_sub tables[sub * 256 + code_i[sub]]`, added in subspace
+/// order per code. **Bit-identical at every dispatch level** (tier A):
+/// pure table loads and in-order adds at any width.
+///
+/// # Panics
+///
+/// Panics if `tables.len() != m * 256` or
+/// `codes.len() != out.len() * m`.
+pub fn adc_block_at(level: SimdLevel, tables: &[f32], m: usize, codes: &[u8], out: &mut [f32]) {
+    assert_eq!(tables.len(), m * 256, "ADC table size mismatch");
+    validate_codes(m, codes, out.len(), "ADC code");
+    let mut r = 0;
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if level.is_supported() => {
+            r = unsafe { crate::simd::avx2::adc_tiles(tables, m, codes, out) };
+        }
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => {
+            r = unsafe { crate::simd::neon::adc_tiles(tables, m, codes, out) };
+        }
+        _ => {}
+    }
+    adc_scalar(tables, m, codes, out, r);
+}
+
+/// Scalar tier-A ADC walk from code `start` on: four walks share each
+/// hot `tables` row, then single codes.
+fn adc_scalar(tables: &[f32], m: usize, codes: &[u8], out: &mut [f32], start: usize) {
+    let n = out.len();
+    let mut r = start;
+    while r + 4 <= n {
+        let c0 = &codes[r * m..(r + 1) * m];
+        let c1 = &codes[(r + 1) * m..(r + 2) * m];
+        let c2 = &codes[(r + 2) * m..(r + 3) * m];
+        let c3 = &codes[(r + 3) * m..(r + 4) * m];
+        let mut acc = [0.0f32; 4];
+        for sub in 0..m {
+            let base = sub * 256;
+            acc[0] += tables[base + c0[sub] as usize];
+            acc[1] += tables[base + c1[sub] as usize];
+            acc[2] += tables[base + c2[sub] as usize];
+            acc[3] += tables[base + c3[sub] as usize];
+        }
+        out[r..r + 4].copy_from_slice(&acc);
+        r += 4;
+    }
+    while r < n {
+        let code = &codes[r * m..(r + 1) * m];
+        let mut acc = 0.0f32;
+        for (sub, &c) in code.iter().enumerate() {
+            acc += tables[sub * 256 + c as usize];
+        }
+        out[r] = acc;
+        r += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::rng::seeded_rng;
+    use hermes_testkit::lane_ordered_fold;
 
     fn random_block(n: usize, dim: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
         let mut rng = seeded_rng(seed);
@@ -268,43 +681,140 @@ mod tests {
     }
 
     #[test]
-    fn blocked_kernels_are_bit_identical_to_scalar() {
+    fn scalar_level_blocked_kernels_are_bit_identical_to_scalar() {
         for dim in [1usize, 3, 4, 7, 8, 17, 33, 64] {
             // 11 rows: two full tiles plus a 3-row remainder.
             let (query, rows) = random_block(11, dim, dim as u64);
             let mut out = vec![0.0f32; 11];
-            inner_product_block(&query, &rows, dim, &mut out);
+            inner_product_block_at(SimdLevel::Scalar, &query, &rows, dim, &mut out);
             for (i, o) in out.iter().enumerate() {
                 let want = inner_product(&query, &rows[i * dim..(i + 1) * dim]);
                 assert_eq!(o.to_bits(), want.to_bits(), "ip dim {dim} row {i}");
             }
-            l2_sq_block(&query, &rows, dim, &mut out);
+            l2_sq_block_at(SimdLevel::Scalar, &query, &rows, dim, &mut out);
             for (i, o) in out.iter().enumerate() {
                 let want = l2_sq(&query, &rows[i * dim..(i + 1) * dim]);
                 assert_eq!(o.to_bits(), want.to_bits(), "l2 dim {dim} row {i}");
             }
-            cosine_block(&query, &rows, dim, &mut out);
+            cosine_block_at(SimdLevel::Scalar, &query, &rows, dim, &mut out);
             for (i, o) in out.iter().enumerate() {
-                let want = cosine(&query, &rows[i * dim..(i + 1) * dim]);
+                let want = crate::distance::cosine(&query, &rows[i * dim..(i + 1) * dim]);
                 assert_eq!(o.to_bits(), want.to_bits(), "cos dim {dim} row {i}");
             }
         }
     }
 
+    /// The tier-B reference: what each level must return per row, bit
+    /// for bit, as a lane-ordered fold at the level's lane count and
+    /// fusion mode.
+    fn reference_ip(level: SimdLevel, q: &[f32], x: &[f32]) -> f32 {
+        let lanes = level.lanes();
+        if level.fused() {
+            lane_ordered_fold(q.len(), lanes, |acc, i| x[i].mul_add(q[i], acc))
+        } else {
+            lane_ordered_fold(q.len(), lanes, |acc, i| acc + q[i] * x[i])
+        }
+    }
+
+    fn reference_l2(level: SimdLevel, q: &[f32], x: &[f32]) -> f32 {
+        let lanes = level.lanes();
+        if level.fused() {
+            lane_ordered_fold(q.len(), lanes, |acc, i| {
+                let d = q[i] - x[i];
+                d.mul_add(d, acc)
+            })
+        } else {
+            lane_ordered_fold(q.len(), lanes, |acc, i| {
+                let d = q[i] - x[i];
+                acc + d * d
+            })
+        }
+    }
+
+    fn reference_cosine(level: SimdLevel, q: &[f32], x: &[f32]) -> f32 {
+        let na = norm(q);
+        let nb = reference_ip(level, x, x).sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            reference_ip(level, q, x) / (na * nb)
+        }
+    }
+
     #[test]
-    fn cosine_block_preserves_zero_vector_convention() {
-        let query = vec![0.0f32; 4];
-        let rows = vec![1.0f32; 8];
-        let mut out = [7.0f32; 2];
-        cosine_block(&query, &rows, 4, &mut out);
-        assert_eq!(out, [0.0, 0.0]);
+    fn every_available_level_is_bit_identical_to_its_lane_ordered_reference() {
+        for level in SimdLevel::available() {
+            for dim in [1usize, 3, 7, 8, 9, 16, 17, 31, 64, 80] {
+                let (query, rows) = random_block(11, dim, 0x51AD + dim as u64);
+                let mut out = vec![0.0f32; 11];
+                inner_product_block_at(level, &query, &rows, dim, &mut out);
+                for (i, o) in out.iter().enumerate() {
+                    let want = reference_ip(level, &query, &rows[i * dim..(i + 1) * dim]);
+                    assert_eq!(o.to_bits(), want.to_bits(), "{level} ip dim {dim} row {i}");
+                }
+                l2_sq_block_at(level, &query, &rows, dim, &mut out);
+                for (i, o) in out.iter().enumerate() {
+                    let want = reference_l2(level, &query, &rows[i * dim..(i + 1) * dim]);
+                    assert_eq!(o.to_bits(), want.to_bits(), "{level} l2 dim {dim} row {i}");
+                }
+                cosine_block_at(level, &query, &rows, dim, &mut out);
+                for (i, o) in out.iter().enumerate() {
+                    let want = reference_cosine(level, &query, &rows[i * dim..(i + 1) * dim]);
+                    assert_eq!(o.to_bits(), want.to_bits(), "{level} cos dim {dim} row {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_agree_within_the_pinned_ulp_bound() {
+        use hermes_testkit::ulp_within_scaled;
+        for level in SimdLevel::available() {
+            for dim in [1usize, 8, 33, 80, 768] {
+                let (query, rows) = random_block(9, dim, 0xB0DE + dim as u64);
+                let mut got = vec![0.0f32; 9];
+                let mut want = vec![0.0f32; 9];
+                inner_product_block_at(level, &query, &rows, dim, &mut got);
+                inner_product_block_at(SimdLevel::Scalar, &query, &rows, dim, &mut want);
+                for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                    let row = &rows[i * dim..(i + 1) * dim];
+                    let scale: f64 = query
+                        .iter()
+                        .zip(row)
+                        .map(|(a, b)| (a * b).abs() as f64)
+                        .sum();
+                    assert!(
+                        ulp_within_scaled(*g, *w, 256, scale as f32),
+                        "{level} ip dim {dim} row {i}: {g} vs {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_block_preserves_zero_vector_convention_at_every_level() {
+        for level in SimdLevel::available() {
+            let query = vec![0.0f32; 4];
+            let rows = vec![1.0f32; 8];
+            let mut out = [7.0f32; 2];
+            cosine_block_at(level, &query, &rows, 4, &mut out);
+            assert_eq!(out, [0.0, 0.0], "{level}");
+            // Zero rows against a non-zero query, crossing the tile
+            // remainder (5 rows).
+            let query = vec![1.0f32; 4];
+            let rows = vec![0.0f32; 20];
+            let mut out = [7.0f32; 5];
+            cosine_block_at(level, &query, &rows, 4, &mut out);
+            assert_eq!(out, [0.0; 5], "{level}");
+        }
     }
 
     #[test]
     fn nearest_row_matches_scalar_argmin() {
         let (query, rows) = random_block(37, 6, 9);
         let mat = Mat::from_flat(37, 6, rows);
-        let (best, best_d) = nearest_row_l2(&query, &mat);
+        let (best, best_d) = nearest_row_l2_at(SimdLevel::Scalar, &query, &mat);
         let want = mat
             .iter_rows()
             .enumerate()
@@ -313,12 +823,56 @@ mod tests {
             .0;
         assert_eq!(best, want);
         assert_eq!(best_d.to_bits(), l2_sq(&query, mat.row(best)).to_bits());
+        // On non-degenerate random data every level agrees on the argmin
+        // (distances differ only in the last ULPs); this is deterministic
+        // per seed, so it can never flake.
+        for level in SimdLevel::available() {
+            assert_eq!(nearest_row_l2_at(level, &query, &mat).0, want, "{level}");
+        }
     }
 
     #[test]
     fn nearest_row_of_empty_matrix_is_sentinel() {
         let m = Mat::zeros(0, 4);
         assert_eq!(nearest_row_l2(&[0.0; 4], &m), (0, f32::INFINITY));
+    }
+
+    #[test]
+    fn sq8_and_adc_blocks_are_bit_identical_across_levels() {
+        let mut rng = seeded_rng(0xADC);
+        // Dims crossing the 8-wide gather width and its remainders; code
+        // counts crossing the 8-tile, its slack guard and the 4-tile.
+        for dim in [1usize, 3, 8, 11, 16, 29] {
+            for n in [1usize, 4, 7, 8, 9, 16, 17, 31] {
+                let query: Vec<f32> = (0..dim).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+                let mins: Vec<f32> = (0..dim).map(|_| rng.next_f32() - 1.0).collect();
+                let scales: Vec<f32> = (0..dim).map(|_| rng.next_f32() / 127.0).collect();
+                let codes: Vec<u8> = (0..n * dim).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+                let mut want = vec![0.0f32; n];
+                sq8_ip_block_at(SimdLevel::Scalar, &query, &mins, &scales, &codes, &mut want);
+                let mut want_l2 = vec![0.0f32; n];
+                sq8_l2_block_at(SimdLevel::Scalar, &query, &mins, &scales, &codes, &mut want_l2);
+                let m = dim;
+                let tables: Vec<f32> = (0..m * 256).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+                let mut want_adc = vec![0.0f32; n];
+                adc_block_at(SimdLevel::Scalar, &tables, m, &codes, &mut want_adc);
+                for level in SimdLevel::available() {
+                    let mut got = vec![0.0f32; n];
+                    sq8_ip_block_at(level, &query, &mins, &scales, &codes, &mut got);
+                    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                        assert_eq!(g.to_bits(), w.to_bits(), "{level} sq8-ip d{dim} n{n} #{i}");
+                    }
+                    sq8_l2_block_at(level, &query, &mins, &scales, &codes, &mut got);
+                    for (i, (g, w)) in got.iter().zip(&want_l2).enumerate() {
+                        assert_eq!(g.to_bits(), w.to_bits(), "{level} sq8-l2 d{dim} n{n} #{i}");
+                    }
+                    adc_block_at(level, &tables, m, &codes, &mut got);
+                    for (i, (g, w)) in got.iter().zip(&want_adc).enumerate() {
+                        assert_eq!(g.to_bits(), w.to_bits(), "{level} adc d{dim} n{n} #{i}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -333,5 +887,26 @@ mod tests {
     fn blocked_entry_rejects_ragged_row_block() {
         let mut out = [0.0f32; 2];
         l2_sq_block(&[1.0, 2.0], &[1.0, 2.0, 3.0], 2, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "code block size mismatch")]
+    fn sq8_block_rejects_ragged_code_block() {
+        let mut out = [0.0f32; 2];
+        sq8_ip_block_at(
+            SimdLevel::Scalar,
+            &[1.0, 2.0],
+            &[0.0, 0.0],
+            &[1.0, 1.0],
+            &[0u8; 3],
+            &mut out,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ADC table size mismatch")]
+    fn adc_block_rejects_short_tables() {
+        let mut out = [0.0f32; 1];
+        adc_block_at(SimdLevel::Scalar, &[0.0f32; 16], 2, &[0u8; 2], &mut out);
     }
 }

@@ -50,24 +50,47 @@ impl Metric {
 
     /// Similarity of `query` against each row of a contiguous row-major
     /// block — the blocked form of [`Metric::similarity`], dispatching to
-    /// the [`crate::block`] kernels. `out[i]` is bit-identical to
-    /// `self.similarity(query, row_i)`; dimensions are validated once per
-    /// block instead of once per vector.
+    /// the [`crate::block`] kernels at the process-wide
+    /// [`simd_level`](crate::simd::simd_level). At
+    /// [`SimdLevel::Scalar`](crate::simd::SimdLevel) `out[i]` is
+    /// bit-identical to `self.similarity(query, row_i)`; at a SIMD level
+    /// it is bit-identical to that level's lane-ordered reduction
+    /// reference and within the pinned ULP bound of the scalar value
+    /// (the tier-B contract in [`crate::block`]). Dimensions are
+    /// validated once per block instead of once per vector.
     ///
     /// # Panics
     ///
     /// Panics if `query.len() != dim` or `rows.len() != out.len() * dim`.
     #[inline]
     pub fn similarity_block(self, query: &[f32], rows: &[f32], dim: usize, out: &mut [f32]) {
+        self.similarity_block_at(crate::simd::simd_level(), query, rows, dim, out);
+    }
+
+    /// [`Metric::similarity_block`] at an explicit dispatch level — the
+    /// seam equivalence suites use to pin every runnable kernel in one
+    /// process. The L2 sign flip is a scalar unary negation at every
+    /// level, so it never perturbs the contract.
+    #[inline]
+    pub fn similarity_block_at(
+        self,
+        level: crate::simd::SimdLevel,
+        query: &[f32],
+        rows: &[f32],
+        dim: usize,
+        out: &mut [f32],
+    ) {
         match self {
             Metric::L2 => {
-                crate::block::l2_sq_block(query, rows, dim, out);
+                crate::block::l2_sq_block_at(level, query, rows, dim, out);
                 for o in out.iter_mut() {
                     *o = -*o;
                 }
             }
-            Metric::InnerProduct => crate::block::inner_product_block(query, rows, dim, out),
-            Metric::Cosine => crate::block::cosine_block(query, rows, dim, out),
+            Metric::InnerProduct => {
+                crate::block::inner_product_block_at(level, query, rows, dim, out)
+            }
+            Metric::Cosine => crate::block::cosine_block_at(level, query, rows, dim, out),
         }
     }
 
@@ -274,15 +297,39 @@ mod tests {
     }
 
     #[test]
-    fn similarity_block_matches_similarity_for_all_metrics() {
+    fn similarity_block_at_scalar_matches_similarity_for_all_metrics() {
         let query = [0.5f32, -1.0, 2.0, 0.25, -0.125];
         let rows = [1.0f32, 2.0, 3.0, 4.0, 5.0, -1.0, 0.0, 1.0, 0.5, 2.5];
         let mut out = [0.0f32; 2];
         for metric in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
-            metric.similarity_block(&query, &rows, 5, &mut out);
+            metric.similarity_block_at(crate::simd::SimdLevel::Scalar, &query, &rows, 5, &mut out);
             for (i, o) in out.iter().enumerate() {
                 let want = metric.similarity(&query, &rows[i * 5..(i + 1) * 5]);
                 assert_eq!(o.to_bits(), want.to_bits(), "{metric} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_block_orientation_is_uniform_across_levels() {
+        // Whatever the dispatch level, L2 similarities stay negated and
+        // ordering-compatible with the scalar metric.
+        let query = [0.25f32, -0.5, 1.5, 2.0, -1.0, 0.125, 3.0];
+        let rows: Vec<f32> = (0..7 * 6).map(|i| (i as f32).sin()).collect();
+        let mut scalar = [0.0f32; 6];
+        Metric::L2.similarity_block_at(
+            crate::simd::SimdLevel::Scalar,
+            &query,
+            &rows,
+            7,
+            &mut scalar,
+        );
+        for level in crate::simd::SimdLevel::available() {
+            let mut out = [0.0f32; 6];
+            Metric::L2.similarity_block_at(level, &query, &rows, 7, &mut out);
+            for (o, s) in out.iter().zip(&scalar) {
+                assert!(*o <= 0.0, "{level}: L2 similarity must be non-positive");
+                assert!((o - s).abs() <= 1e-4 * s.abs().max(1.0), "{level}");
             }
         }
     }

@@ -5,8 +5,12 @@
 //!
 //! * [`distance`] — distance/similarity kernels ([`Metric`]) used by the
 //!   flat, IVF and HNSW indices,
-//! * [`block`] — blocked query-vs-row-block kernels with register tiling,
-//!   bit-identical to the scalar kernels (the hot scan-loop form),
+//! * [`block`] — blocked query-vs-row-block kernels with register tiling
+//!   (the hot scan-loop form), pinned to the scalar kernels by the
+//!   two-tier equivalence contract documented there,
+//! * [`simd`] — runtime SIMD dispatch ([`SimdLevel`]): AVX2/FMA and NEON
+//!   implementations of the blocked kernels behind a once-per-process
+//!   CPU-feature decision, overridable via `HERMES_SIMD`,
 //! * [`topk`] — bounded best-k selection ([`topk::TopK`]),
 //! * [`matrix`] — a minimal row-major matrix ([`matrix::Mat`]) used for OPQ
 //!   rotations and K-means centroid tables,
@@ -32,12 +36,14 @@ pub mod block;
 pub mod distance;
 pub mod matrix;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 pub mod topk;
 pub mod wire;
 
 pub use distance::Metric;
 pub use matrix::Mat;
+pub use simd::{parse_hermes_simd, simd_level, SimdLevel};
 pub use topk::{Neighbor, TopK};
 
 /// The scalar element type used for all embeddings in the workspace.

@@ -1,0 +1,842 @@
+//! Runtime SIMD dispatch for the scoring kernels.
+//!
+//! The blocked kernels in [`crate::block`] exist in up to three
+//! implementations: the portable scalar reference (always present),
+//! AVX2+FMA on x86_64 and NEON on aarch64. Which one runs is decided
+//! **once per process** — the first scoring call detects CPU features
+//! (or honours the `HERMES_SIMD` override), caches the choice in an
+//! atomic, and every block entry point thereafter pays one relaxed load.
+//!
+//! # `HERMES_SIMD`
+//!
+//! `HERMES_SIMD={auto,avx2,neon,scalar}` forces a dispatch level, the
+//! way `HERMES_THREADS` forces a pool width. `auto` (or unset) picks the
+//! best supported level; forcing a level the CPU cannot run, or an
+//! unrecognized value, warns once on stderr and falls back to `auto` —
+//! matching the `parse_hermes_threads` precedent of never failing on a
+//! bad environment value. [`parse_hermes_simd`] is pure so every case is
+//! unit testable without mutating the process environment.
+//!
+//! # The two-tier equivalence contract
+//!
+//! Dispatch is only sound because every level is pinned to the same
+//! results, at two strictnesses (see DESIGN.md "Scoring kernels"):
+//!
+//! * **Tier A — bit-identical.** The SQ8 dequantize-and-score and PQ/ADC
+//!   table walks perform, per code, the *exact same sequence of f32
+//!   operations* at every level: the SIMD forms vectorize **across
+//!   codes** (one lane per code) so each code keeps one accumulator
+//!   folded sequentially over dimensions, with no FMA contraction.
+//!   `QueryScorer::score_block` is bit-identical to `score` regardless
+//!   of level.
+//! * **Tier B — pinned reduction order per level, ULP-bounded across
+//!   levels.** The f32 reductions vectorize **within a row**, so each
+//!   level reassociates differently. Every level is bit-identical to
+//!   the deterministic lane-ordered reference
+//!   (`hermes_testkit::lane_ordered_fold`) at its own
+//!   [`SimdLevel::lanes`]/[`SimdLevel::fused`] parameters, and levels
+//!   agree with each other within the pinned ULP bound recorded in
+//!   EXPERIMENTS.md.
+//!
+//! Because a process never mixes levels (one decision, cached), every
+//! within-process equivalence pin in the workspace — engine vs legacy,
+//! serving vs standalone, blocked vs fused scans — still holds
+//! bit-for-bit at whatever level was selected.
+
+use std::sync::atomic::{AtomicU8, AtomicU64, Ordering};
+use std::sync::Once;
+
+/// A dispatchable kernel implementation.
+///
+/// All variants exist on every architecture (so parsing and display are
+/// uniform); [`SimdLevel::is_supported`] says whether this CPU can run
+/// one. Passing an unsupported level to a `*_at` kernel entry point is
+/// not undefined behaviour — it scores via the scalar reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SimdLevel {
+    /// Portable scalar reference: 4 unfused accumulator lanes.
+    Scalar = 0,
+    /// x86_64 AVX2 + FMA: 8 fused accumulator lanes.
+    Avx2 = 1,
+    /// aarch64 NEON: 4 fused accumulator lanes.
+    Neon = 2,
+}
+
+impl SimdLevel {
+    /// Every level, in preference order (best first) — the order
+    /// [`simd_level`] probes under `auto`.
+    pub const ALL: [SimdLevel; 3] = [SimdLevel::Avx2, SimdLevel::Neon, SimdLevel::Scalar];
+
+    /// Accumulator lanes per f32 reduction at this level — the `lanes`
+    /// argument of the `lane_ordered_fold` tier-B reference.
+    #[inline]
+    pub fn lanes(self) -> usize {
+        match self {
+            SimdLevel::Scalar => 4,
+            SimdLevel::Avx2 => 8,
+            SimdLevel::Neon => 4,
+        }
+    }
+
+    /// Whether this level's f32 reductions fuse multiply-add (one
+    /// rounding per term, `f32::mul_add` semantics) instead of rounding
+    /// the product first. SIMD levels fuse; the scalar reference does
+    /// not.
+    #[inline]
+    pub fn fused(self) -> bool {
+        !matches!(self, SimdLevel::Scalar)
+    }
+
+    /// Whether this CPU can execute this level's kernels. Feature
+    /// detection is cached by the standard library, so this is cheap
+    /// enough for per-block guards.
+    #[inline]
+    pub fn is_supported(self) -> bool {
+        match self {
+            SimdLevel::Scalar => true,
+            SimdLevel::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    std::arch::is_x86_feature_detected!("avx2")
+                        && std::arch::is_x86_feature_detected!("fma")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            // NEON is a mandatory part of AArch64.
+            SimdLevel::Neon => cfg!(target_arch = "aarch64"),
+        }
+    }
+
+    /// The levels this CPU supports, best first (always ends with
+    /// `Scalar`). Equivalence suites iterate this to pin every runnable
+    /// kernel, not just the selected one.
+    pub fn available() -> Vec<SimdLevel> {
+        Self::ALL.into_iter().filter(|l| l.is_supported()).collect()
+    }
+
+    /// Stable lower-case name; also the accepted `HERMES_SIMD` spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Neon => "neon",
+        }
+    }
+}
+
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Interprets a `HERMES_SIMD` value. `Ok(None)` means auto-detect
+/// (unset, blank, or the literal `auto`); `Ok(Some(level))` is an
+/// explicit force; `Err` carries the warning for anything else. Callers
+/// must treat `Err` as auto plus a warning — never a hard failure —
+/// matching the `parse_hermes_threads` precedent.
+pub fn parse_hermes_simd(value: Option<&str>) -> Result<Option<SimdLevel>, String> {
+    let Some(raw) = value else { return Ok(None) };
+    let t = raw.trim();
+    if t.is_empty() || t.eq_ignore_ascii_case("auto") {
+        return Ok(None);
+    }
+    for level in SimdLevel::ALL {
+        if t.eq_ignore_ascii_case(level.as_str()) {
+            return Ok(Some(level));
+        }
+    }
+    Err(format!(
+        "unrecognized HERMES_SIMD value {raw:?} (expected auto, avx2, neon or scalar); using auto"
+    ))
+}
+
+/// Best level this CPU supports — the `auto` choice.
+fn detect() -> SimdLevel {
+    SimdLevel::available()[0]
+}
+
+/// Resolves an environment value to the level a process would run at,
+/// plus the warning (if any) it would print. Pure: the decision logic
+/// is testable without touching [`simd_level`]'s process-wide cache.
+pub fn resolve_simd_level(env: Option<&str>) -> (SimdLevel, Option<String>) {
+    match parse_hermes_simd(env) {
+        Ok(None) => (detect(), None),
+        Ok(Some(level)) if level.is_supported() => (level, None),
+        Ok(Some(level)) => (
+            detect(),
+            Some(format!(
+                "HERMES_SIMD={level} is not supported on this CPU; using auto"
+            )),
+        ),
+        Err(msg) => (detect(), Some(msg)),
+    }
+}
+
+const UNDECIDED: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(UNDECIDED);
+static DECIDE: Once = Once::new();
+static DECISIONS: AtomicU64 = AtomicU64::new(0);
+
+fn decode(v: u8) -> SimdLevel {
+    match v {
+        0 => SimdLevel::Scalar,
+        1 => SimdLevel::Avx2,
+        2 => SimdLevel::Neon,
+        _ => unreachable!("corrupt cached SimdLevel {v}"),
+    }
+}
+
+/// The dispatch level this process scores with.
+///
+/// Decided exactly once (first call wins, `HERMES_SIMD` honoured at
+/// that point, warning printed at most once); afterwards a single
+/// relaxed atomic load. Tests that need a *different* level in the same
+/// process use the `*_at` kernel entry points instead of the
+/// environment.
+pub fn simd_level() -> SimdLevel {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v != UNDECIDED {
+        return decode(v);
+    }
+    DECIDE.call_once(|| {
+        DECISIONS.fetch_add(1, Ordering::Relaxed);
+        let (level, warning) = resolve_simd_level(std::env::var("HERMES_SIMD").ok().as_deref());
+        if let Some(w) = warning {
+            eprintln!("hermes-math: {w}");
+        }
+        LEVEL.store(level as u8, Ordering::Relaxed);
+    });
+    decode(LEVEL.load(Ordering::Relaxed))
+}
+
+/// How many times the process-wide dispatch decision has run. Exposed
+/// so the regression suite can assert it is exactly 1 no matter how
+/// many threads race through [`simd_level`].
+pub fn simd_decision_count() -> u64 {
+    DECISIONS.load(Ordering::Relaxed)
+}
+
+/// AVX2+FMA kernels. Callers must hold a [`SimdLevel::Avx2`]
+/// `is_supported()` proof before calling anything here — the
+/// `#[target_feature]` functions are UB on CPUs without the features.
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2 {
+    use core::arch::x86_64::*;
+
+    /// Sums the 8 lanes strictly left to right — the lane-combination
+    /// order the tier-B reference pins.
+    #[inline]
+    unsafe fn hsum_in_order(v: __m256) -> f32 {
+        let mut lanes = [0.0f32; 8];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), v);
+        let mut sum = lanes[0];
+        for &l in &lanes[1..] {
+            sum += l;
+        }
+        sum
+    }
+
+    /// `q · x` with 8 fused lanes; bit-identical to
+    /// `lane_ordered_fold(n, 8, |acc, i| q[i].mul_add(x[i], acc))`
+    /// (`vfmadd` and `f32::mul_add` are both correctly-rounded fma).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn ip_row(q: &[f32], x: &[f32]) -> f32 {
+        let n = q.len();
+        let chunks = n / 8;
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let b = c * 8;
+            let qa = _mm256_loadu_ps(q.as_ptr().add(b));
+            let xa = _mm256_loadu_ps(x.as_ptr().add(b));
+            acc = _mm256_fmadd_ps(xa, qa, acc);
+        }
+        let mut sum = hsum_in_order(acc);
+        for i in chunks * 8..n {
+            sum = x[i].mul_add(q[i], sum);
+        }
+        sum
+    }
+
+    /// `||q - x||²` with 8 fused lanes; term `(q[i]-x[i]).mul_add(q[i]-x[i], acc)`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn l2_row(q: &[f32], x: &[f32]) -> f32 {
+        let n = q.len();
+        let chunks = n / 8;
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let b = c * 8;
+            let qa = _mm256_loadu_ps(q.as_ptr().add(b));
+            let xa = _mm256_loadu_ps(x.as_ptr().add(b));
+            let d = _mm256_sub_ps(qa, xa);
+            acc = _mm256_fmadd_ps(d, d, acc);
+        }
+        let mut sum = hsum_in_order(acc);
+        for i in chunks * 8..n {
+            let d = q[i] - x[i];
+            sum = d.mul_add(d, sum);
+        }
+        sum
+    }
+
+    /// `||x||²` with 8 fused lanes; term `x[i].mul_add(x[i], acc)`.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn sq_norm_row(x: &[f32]) -> f32 {
+        let n = x.len();
+        let chunks = n / 8;
+        let mut acc = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let xa = _mm256_loadu_ps(x.as_ptr().add(c * 8));
+            acc = _mm256_fmadd_ps(xa, xa, acc);
+        }
+        let mut sum = hsum_in_order(acc);
+        for i in chunks * 8..n {
+            sum = x[i].mul_add(x[i], sum);
+        }
+        sum
+    }
+
+    /// Four dot products sharing each loaded query chunk; per row
+    /// identical to [`ip_row`].
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn ip_tile4(q: &[f32], rows: [&[f32]; 4], out: &mut [f32; 4]) {
+        let n = q.len();
+        let chunks = n / 8;
+        let mut acc = [_mm256_setzero_ps(); 4];
+        for c in 0..chunks {
+            let b = c * 8;
+            let qa = _mm256_loadu_ps(q.as_ptr().add(b));
+            for (t, row) in rows.iter().enumerate() {
+                let xa = _mm256_loadu_ps(row.as_ptr().add(b));
+                acc[t] = _mm256_fmadd_ps(xa, qa, acc[t]);
+            }
+        }
+        for (t, row) in rows.iter().enumerate() {
+            let mut sum = hsum_in_order(acc[t]);
+            for i in chunks * 8..n {
+                sum = row[i].mul_add(q[i], sum);
+            }
+            out[t] = sum;
+        }
+    }
+
+    /// Four squared distances sharing each loaded query chunk; per row
+    /// identical to [`l2_row`].
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn l2_tile4(q: &[f32], rows: [&[f32]; 4], out: &mut [f32; 4]) {
+        let n = q.len();
+        let chunks = n / 8;
+        let mut acc = [_mm256_setzero_ps(); 4];
+        for c in 0..chunks {
+            let b = c * 8;
+            let qa = _mm256_loadu_ps(q.as_ptr().add(b));
+            for (t, row) in rows.iter().enumerate() {
+                let xa = _mm256_loadu_ps(row.as_ptr().add(b));
+                let d = _mm256_sub_ps(qa, xa);
+                acc[t] = _mm256_fmadd_ps(d, d, acc[t]);
+            }
+        }
+        for (t, row) in rows.iter().enumerate() {
+            let mut sum = hsum_in_order(acc[t]);
+            for i in chunks * 8..n {
+                let d = q[i] - row[i];
+                sum = d.mul_add(d, sum);
+            }
+            out[t] = sum;
+        }
+    }
+
+    /// Four squared norms; per row identical to [`sq_norm_row`].
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn sq_norm_tile4(rows: [&[f32]; 4], out: &mut [f32; 4]) {
+        let n = rows[0].len();
+        let chunks = n / 8;
+        let mut acc = [_mm256_setzero_ps(); 4];
+        for c in 0..chunks {
+            let b = c * 8;
+            for (t, row) in rows.iter().enumerate() {
+                let xa = _mm256_loadu_ps(row.as_ptr().add(b));
+                acc[t] = _mm256_fmadd_ps(xa, xa, acc[t]);
+            }
+        }
+        for (t, row) in rows.iter().enumerate() {
+            let mut sum = hsum_in_order(acc[t]);
+            for i in chunks * 8..n {
+                sum = row[i].mul_add(row[i], sum);
+            }
+            out[t] = sum;
+        }
+    }
+
+    /// Byte offsets `{0, stride, …, 7·stride}` for gathering one byte
+    /// from each of 8 consecutive codes.
+    #[inline]
+    unsafe fn code_offsets(stride: usize) -> __m256i {
+        _mm256_mullo_epi32(
+            _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+            _mm256_set1_epi32(stride as i32),
+        )
+    }
+
+    /// Tier-A SQ8 kernels: vectorized **across codes** (one lane per
+    /// code), each lane folding dimensions sequentially with the exact
+    /// scalar operation order — `mul`/`add` kept separate, no FMA — so
+    /// results are bit-identical to the scalar walk. Returns how many
+    /// leading codes were scored; the caller finishes the rest with the
+    /// scalar kernel. Tiles stop one short of the buffer end because
+    /// each byte gather reads 4 bytes per lane.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sq8_ip_tiles(
+        q: &[f32],
+        mins: &[f32],
+        scales: &[f32],
+        codes: &[u8],
+        out: &mut [f32],
+    ) -> usize {
+        let dim = q.len();
+        if dim == 0 || dim > (i32::MAX as usize) / 8 {
+            return 0;
+        }
+        let offs = code_offsets(dim);
+        let mask = _mm256_set1_epi32(0xFF);
+        let mut r = 0;
+        // Last byte gathered for tile r is at (r+7)*dim + (dim-1) and the
+        // gather reads 4 bytes, hence the +3 slack requirement.
+        while r + 8 <= out.len() && (r + 8) * dim + 3 <= codes.len() {
+            let base = codes.as_ptr().add(r * dim);
+            let mut acc = _mm256_setzero_ps();
+            for d in 0..dim {
+                let raw = _mm256_i32gather_epi32::<1>(base.add(d) as *const i32, offs);
+                let lv = _mm256_cvtepi32_ps(_mm256_and_si256(raw, mask));
+                let val = _mm256_add_ps(
+                    _mm256_set1_ps(mins[d]),
+                    _mm256_mul_ps(lv, _mm256_set1_ps(scales[d])),
+                );
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(q[d]), val));
+            }
+            _mm256_storeu_ps(out.as_mut_ptr().add(r), acc);
+            r += 8;
+        }
+        r
+    }
+
+    /// See [`sq8_ip_tiles`]; writes the **negated** accumulated squared
+    /// distance (sign flipped by XOR, matching scalar unary negation
+    /// bit-for-bit, `-0.0` included).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sq8_l2_tiles(
+        q: &[f32],
+        mins: &[f32],
+        scales: &[f32],
+        codes: &[u8],
+        out: &mut [f32],
+    ) -> usize {
+        let dim = q.len();
+        if dim == 0 || dim > (i32::MAX as usize) / 8 {
+            return 0;
+        }
+        let offs = code_offsets(dim);
+        let mask = _mm256_set1_epi32(0xFF);
+        let sign = _mm256_set1_ps(-0.0);
+        let mut r = 0;
+        while r + 8 <= out.len() && (r + 8) * dim + 3 <= codes.len() {
+            let base = codes.as_ptr().add(r * dim);
+            let mut acc = _mm256_setzero_ps();
+            for d in 0..dim {
+                let raw = _mm256_i32gather_epi32::<1>(base.add(d) as *const i32, offs);
+                let lv = _mm256_cvtepi32_ps(_mm256_and_si256(raw, mask));
+                let val = _mm256_add_ps(
+                    _mm256_set1_ps(mins[d]),
+                    _mm256_mul_ps(lv, _mm256_set1_ps(scales[d])),
+                );
+                let diff = _mm256_sub_ps(_mm256_set1_ps(q[d]), val);
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(diff, diff));
+            }
+            _mm256_storeu_ps(out.as_mut_ptr().add(r), _mm256_xor_ps(acc, sign));
+            r += 8;
+        }
+        r
+    }
+
+    /// Tier-A PQ/ADC table walk: 8 codes per tile, one lane per code,
+    /// pure float gathers + in-order adds — bit-identical to the scalar
+    /// walk. Same return/slack convention as [`sq8_ip_tiles`].
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn adc_tiles(tables: &[f32], m: usize, codes: &[u8], out: &mut [f32]) -> usize {
+        if m == 0 || m > (i32::MAX as usize) / 8 {
+            return 0;
+        }
+        let offs = code_offsets(m);
+        let mask = _mm256_set1_epi32(0xFF);
+        let mut r = 0;
+        while r + 8 <= out.len() && (r + 8) * m + 3 <= codes.len() {
+            let base = codes.as_ptr().add(r * m);
+            let mut acc = _mm256_setzero_ps();
+            for sub in 0..m {
+                let raw = _mm256_i32gather_epi32::<1>(base.add(sub) as *const i32, offs);
+                let idx = _mm256_and_si256(raw, mask);
+                // idx < 256 and tables holds m*256 floats, so the float
+                // gather is always in bounds.
+                let vals = _mm256_i32gather_ps::<4>(tables.as_ptr().add(sub * 256), idx);
+                acc = _mm256_add_ps(acc, vals);
+            }
+            _mm256_storeu_ps(out.as_mut_ptr().add(r), acc);
+            r += 8;
+        }
+        r
+    }
+}
+
+/// NEON kernels: 4 fused lanes (`vfmaq_f32` is correctly-rounded fma,
+/// matching `f32::mul_add`), lane sum in order via a stack store, the
+/// same structure as the AVX2 module at half the width. NEON is
+/// mandatory on AArch64 so these are safe whenever they compile, but
+/// they keep the `unsafe`/`target_feature` shape for symmetry.
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon {
+    use core::arch::aarch64::*;
+
+    #[inline]
+    unsafe fn hsum_in_order(v: float32x4_t) -> f32 {
+        let mut lanes = [0.0f32; 4];
+        vst1q_f32(lanes.as_mut_ptr(), v);
+        ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3]
+    }
+
+    /// `q · x`; bit-identical to
+    /// `lane_ordered_fold(n, 4, |acc, i| q[i].mul_add(x[i], acc))`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn ip_row(q: &[f32], x: &[f32]) -> f32 {
+        let n = q.len();
+        let chunks = n / 4;
+        let mut acc = vdupq_n_f32(0.0);
+        for c in 0..chunks {
+            let b = c * 4;
+            acc = vfmaq_f32(acc, vld1q_f32(x.as_ptr().add(b)), vld1q_f32(q.as_ptr().add(b)));
+        }
+        let mut sum = hsum_in_order(acc);
+        for i in chunks * 4..n {
+            sum = x[i].mul_add(q[i], sum);
+        }
+        sum
+    }
+
+    /// `||q - x||²`; term `(q[i]-x[i]).mul_add(q[i]-x[i], acc)`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn l2_row(q: &[f32], x: &[f32]) -> f32 {
+        let n = q.len();
+        let chunks = n / 4;
+        let mut acc = vdupq_n_f32(0.0);
+        for c in 0..chunks {
+            let b = c * 4;
+            let d = vsubq_f32(vld1q_f32(q.as_ptr().add(b)), vld1q_f32(x.as_ptr().add(b)));
+            acc = vfmaq_f32(acc, d, d);
+        }
+        let mut sum = hsum_in_order(acc);
+        for i in chunks * 4..n {
+            let d = q[i] - x[i];
+            sum = d.mul_add(d, sum);
+        }
+        sum
+    }
+
+    /// `||x||²`; term `x[i].mul_add(x[i], acc)`.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn sq_norm_row(x: &[f32]) -> f32 {
+        let n = x.len();
+        let chunks = n / 4;
+        let mut acc = vdupq_n_f32(0.0);
+        for c in 0..chunks {
+            let xa = vld1q_f32(x.as_ptr().add(c * 4));
+            acc = vfmaq_f32(acc, xa, xa);
+        }
+        let mut sum = hsum_in_order(acc);
+        for i in chunks * 4..n {
+            sum = x[i].mul_add(x[i], sum);
+        }
+        sum
+    }
+
+    /// Four dot products sharing each loaded query chunk.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn ip_tile4(q: &[f32], rows: [&[f32]; 4], out: &mut [f32; 4]) {
+        let n = q.len();
+        let chunks = n / 4;
+        let mut acc = [vdupq_n_f32(0.0); 4];
+        for c in 0..chunks {
+            let b = c * 4;
+            let qa = vld1q_f32(q.as_ptr().add(b));
+            for (t, row) in rows.iter().enumerate() {
+                acc[t] = vfmaq_f32(acc[t], vld1q_f32(row.as_ptr().add(b)), qa);
+            }
+        }
+        for (t, row) in rows.iter().enumerate() {
+            let mut sum = hsum_in_order(acc[t]);
+            for i in chunks * 4..n {
+                sum = row[i].mul_add(q[i], sum);
+            }
+            out[t] = sum;
+        }
+    }
+
+    /// Four squared distances sharing each loaded query chunk.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn l2_tile4(q: &[f32], rows: [&[f32]; 4], out: &mut [f32; 4]) {
+        let n = q.len();
+        let chunks = n / 4;
+        let mut acc = [vdupq_n_f32(0.0); 4];
+        for c in 0..chunks {
+            let b = c * 4;
+            let qa = vld1q_f32(q.as_ptr().add(b));
+            for (t, row) in rows.iter().enumerate() {
+                let d = vsubq_f32(qa, vld1q_f32(row.as_ptr().add(b)));
+                acc[t] = vfmaq_f32(acc[t], d, d);
+            }
+        }
+        for (t, row) in rows.iter().enumerate() {
+            let mut sum = hsum_in_order(acc[t]);
+            for i in chunks * 4..n {
+                let d = q[i] - row[i];
+                sum = d.mul_add(d, sum);
+            }
+            out[t] = sum;
+        }
+    }
+
+    /// Four squared norms.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn sq_norm_tile4(rows: [&[f32]; 4], out: &mut [f32; 4]) {
+        let n = rows[0].len();
+        let chunks = n / 4;
+        let mut acc = [vdupq_n_f32(0.0); 4];
+        for c in 0..chunks {
+            let b = c * 4;
+            for (t, row) in rows.iter().enumerate() {
+                let xa = vld1q_f32(row.as_ptr().add(b));
+                acc[t] = vfmaq_f32(acc[t], xa, xa);
+            }
+        }
+        for (t, row) in rows.iter().enumerate() {
+            let mut sum = hsum_in_order(acc[t]);
+            for i in chunks * 4..n {
+                sum = row[i].mul_add(row[i], sum);
+            }
+            out[t] = sum;
+        }
+    }
+
+    /// Tier-A SQ8 inner product: 4 codes per tile, one lane per code,
+    /// byte loads widened in scalar (exact) then unfused vector
+    /// mul/add in the scalar operation order — bit-identical to the
+    /// scalar walk. Returns codes scored (a multiple of 4); no slack
+    /// needed since there are no gathers.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn sq8_ip_tiles(
+        q: &[f32],
+        mins: &[f32],
+        scales: &[f32],
+        codes: &[u8],
+        out: &mut [f32],
+    ) -> usize {
+        let dim = q.len();
+        if dim == 0 {
+            return 0;
+        }
+        let mut r = 0;
+        while r + 4 <= out.len() {
+            let base = r * dim;
+            let mut acc = vdupq_n_f32(0.0);
+            for d in 0..dim {
+                let lv = [
+                    codes[base + d] as f32,
+                    codes[base + dim + d] as f32,
+                    codes[base + 2 * dim + d] as f32,
+                    codes[base + 3 * dim + d] as f32,
+                ];
+                let val = vaddq_f32(
+                    vdupq_n_f32(mins[d]),
+                    vmulq_f32(vld1q_f32(lv.as_ptr()), vdupq_n_f32(scales[d])),
+                );
+                acc = vaddq_f32(acc, vmulq_f32(vdupq_n_f32(q[d]), val));
+            }
+            vst1q_f32(out.as_mut_ptr().add(r), acc);
+            r += 4;
+        }
+        r
+    }
+
+    /// See [`sq8_ip_tiles`]; writes the negated squared distance
+    /// (sign flipped, matching scalar unary negation).
+    #[target_feature(enable = "neon")]
+    pub unsafe fn sq8_l2_tiles(
+        q: &[f32],
+        mins: &[f32],
+        scales: &[f32],
+        codes: &[u8],
+        out: &mut [f32],
+    ) -> usize {
+        let dim = q.len();
+        if dim == 0 {
+            return 0;
+        }
+        let mut r = 0;
+        while r + 4 <= out.len() {
+            let base = r * dim;
+            let mut acc = vdupq_n_f32(0.0);
+            for d in 0..dim {
+                let lv = [
+                    codes[base + d] as f32,
+                    codes[base + dim + d] as f32,
+                    codes[base + 2 * dim + d] as f32,
+                    codes[base + 3 * dim + d] as f32,
+                ];
+                let val = vaddq_f32(
+                    vdupq_n_f32(mins[d]),
+                    vmulq_f32(vld1q_f32(lv.as_ptr()), vdupq_n_f32(scales[d])),
+                );
+                let diff = vsubq_f32(vdupq_n_f32(q[d]), val);
+                acc = vaddq_f32(acc, vmulq_f32(diff, diff));
+            }
+            vst1q_f32(out.as_mut_ptr().add(r), vnegq_f32(acc));
+            r += 4;
+        }
+        r
+    }
+
+    /// Tier-A PQ/ADC walk: 4 codes per tile, table rows loaded lane by
+    /// lane, in-order vector adds — bit-identical to the scalar walk.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn adc_tiles(tables: &[f32], m: usize, codes: &[u8], out: &mut [f32]) -> usize {
+        if m == 0 {
+            return 0;
+        }
+        let mut r = 0;
+        while r + 4 <= out.len() {
+            let base = r * m;
+            let mut acc = vdupq_n_f32(0.0);
+            for sub in 0..m {
+                let t = sub * 256;
+                let vals = [
+                    tables[t + codes[base + sub] as usize],
+                    tables[t + codes[base + m + sub] as usize],
+                    tables[t + codes[base + 2 * m + sub] as usize],
+                    tables[t + codes[base + 3 * m + sub] as usize],
+                ];
+                acc = vaddq_f32(acc, vld1q_f32(vals.as_ptr()));
+            }
+            vst1q_f32(out.as_mut_ptr().add(r), acc);
+            r += 4;
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_every_level_name_case_insensitively() {
+        assert_eq!(parse_hermes_simd(Some("scalar")), Ok(Some(SimdLevel::Scalar)));
+        assert_eq!(parse_hermes_simd(Some("AVX2")), Ok(Some(SimdLevel::Avx2)));
+        assert_eq!(parse_hermes_simd(Some(" Neon ")), Ok(Some(SimdLevel::Neon)));
+    }
+
+    #[test]
+    fn parse_treats_unset_blank_and_auto_as_auto() {
+        assert_eq!(parse_hermes_simd(None), Ok(None));
+        assert_eq!(parse_hermes_simd(Some("")), Ok(None));
+        assert_eq!(parse_hermes_simd(Some("  ")), Ok(None));
+        assert_eq!(parse_hermes_simd(Some("auto")), Ok(None));
+        assert_eq!(parse_hermes_simd(Some("AUTO")), Ok(None));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_values_with_a_warning_message() {
+        let err = parse_hermes_simd(Some("avx512")).unwrap_err();
+        assert!(err.contains("avx512"), "{err}");
+        assert!(err.contains("using auto"), "{err}");
+        assert!(parse_hermes_simd(Some("3")).is_err());
+    }
+
+    #[test]
+    fn unknown_values_resolve_to_auto_with_a_warning() {
+        // parse_hermes_threads precedent: a bad env value can never make
+        // the process fail or change semantics — it warns and detects.
+        let (bad, warn) = resolve_simd_level(Some("turbo"));
+        let (auto, none) = resolve_simd_level(None);
+        assert_eq!(bad, auto);
+        assert!(warn.is_some());
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn unsupported_forced_level_resolves_to_auto_with_a_warning() {
+        // At most one of avx2/neon is supported on any one machine, so
+        // the other must warn and fall back.
+        let foreign = [SimdLevel::Avx2, SimdLevel::Neon]
+            .into_iter()
+            .find(|l| !l.is_supported());
+        if let Some(level) = foreign {
+            let (got, warn) = resolve_simd_level(Some(level.as_str()));
+            assert_eq!(got, resolve_simd_level(None).0);
+            let warn = warn.expect("forcing an unsupported level must warn");
+            assert!(warn.contains(level.as_str()), "{warn}");
+        }
+    }
+
+    #[test]
+    fn forcing_scalar_always_works() {
+        let (level, warn) = resolve_simd_level(Some("scalar"));
+        assert_eq!(level, SimdLevel::Scalar);
+        assert!(warn.is_none());
+    }
+
+    #[test]
+    fn scalar_is_always_available_and_last() {
+        let avail = SimdLevel::available();
+        assert_eq!(*avail.last().unwrap(), SimdLevel::Scalar);
+        assert!(avail.iter().all(|l| l.is_supported()));
+    }
+
+    #[test]
+    fn lane_counts_match_the_documented_contract() {
+        assert_eq!(SimdLevel::Scalar.lanes(), 4);
+        assert!(!SimdLevel::Scalar.fused());
+        assert_eq!(SimdLevel::Avx2.lanes(), 8);
+        assert!(SimdLevel::Avx2.fused());
+        assert_eq!(SimdLevel::Neon.lanes(), 4);
+        assert!(SimdLevel::Neon.fused());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for level in SimdLevel::ALL {
+            assert_eq!(
+                parse_hermes_simd(Some(&level.to_string())),
+                Ok(Some(level))
+            );
+        }
+    }
+
+    #[test]
+    fn dispatch_is_decided_exactly_once_across_racing_threads() {
+        let levels: Vec<SimdLevel> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| s.spawn(simd_level))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(levels.iter().all(|&l| l == levels[0]));
+        // However many tests and threads have raced through simd_level()
+        // by now, the decision must have run exactly once this process.
+        assert_eq!(simd_decision_count(), 1);
+        assert!(simd_level().is_supported());
+    }
+}

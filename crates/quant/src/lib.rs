@@ -33,6 +33,7 @@
 use hermes_kmeans::{KMeans, KMeansConfig};
 use hermes_math::distance::{inner_product, l2_sq};
 use hermes_math::rng::{derive_seed, seeded_rng};
+use hermes_math::simd::{simd_level, SimdLevel};
 use hermes_math::{Mat, Metric};
 
 /// Which codec to train; mirrors the rows of the paper's Table 1.
@@ -301,16 +302,30 @@ impl QueryScorer<'_> {
     }
 
     /// Scores a contiguous block of `out.len()` codes at once — the form
-    /// the IVF inverted-list probe consumes. `out[i]` is bit-identical
-    /// to `self.score(code_i)`, but SQ decode constants and PQ/ADC table
-    /// rows are reused across a register tile of codes instead of being
-    /// reloaded per code, and the code-size check runs once per block
-    /// instead of once per code.
+    /// the IVF inverted-list probe consumes — at the process-wide
+    /// [`simd_level`]. `out[i]` is **bit-identical to `self.score(code_i)`
+    /// at every dispatch level** (the tier-A contract): the SQ8 and
+    /// PQ/ADC kernels in `hermes_math::block` vectorize across codes, so
+    /// each code keeps the exact scalar operation sequence. SQ decode
+    /// constants and ADC table rows are reused across a tile of codes
+    /// instead of being reloaded per code, and the code-size check runs
+    /// once per block instead of once per code.
     ///
     /// # Panics
     ///
     /// Panics if `codes.len() != out.len() * self.code_size()`.
     pub fn score_block(&self, codes: &[u8], out: &mut [f32]) {
+        self.score_block_at(simd_level(), codes, out);
+    }
+
+    /// [`QueryScorer::score_block`] at an explicit dispatch level — the
+    /// seam the equivalence suites use to pin tier-A bit-identity for
+    /// every runnable kernel in one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != out.len() * self.code_size()`.
+    pub fn score_block_at(&self, level: SimdLevel, codes: &[u8], out: &mut [f32]) {
         let cs = self.code_size();
         assert_eq!(
             codes.len(),
@@ -326,36 +341,14 @@ impl QueryScorer<'_> {
         }
         match self {
             QueryScorer::Sq { sq, query, metric } => {
-                sq.score_block(codes, query, *metric, out)
+                sq.score_block_at(level, codes, query, *metric, out)
             }
             QueryScorer::Pq { tables, m } => {
-                let m = *m;
-                let n = out.len();
-                let mut r = 0;
-                // Four ADC walks share each `tables` row while it is hot.
-                while r + 4 <= n {
-                    let c0 = &codes[r * m..(r + 1) * m];
-                    let c1 = &codes[(r + 1) * m..(r + 2) * m];
-                    let c2 = &codes[(r + 2) * m..(r + 3) * m];
-                    let c3 = &codes[(r + 3) * m..(r + 4) * m];
-                    let mut acc = [0.0f32; 4];
-                    for sub in 0..m {
-                        let base = sub * 256;
-                        acc[0] += tables[base + c0[sub] as usize];
-                        acc[1] += tables[base + c1[sub] as usize];
-                        acc[2] += tables[base + c2[sub] as usize];
-                        acc[3] += tables[base + c3[sub] as usize];
-                    }
-                    out[r..r + 4].copy_from_slice(&acc);
-                    r += 4;
-                }
-                while r < n {
-                    out[r] = self.score(&codes[r * m..(r + 1) * m]);
-                    r += 1;
-                }
+                hermes_math::block::adc_block_at(level, tables, *m, codes, out)
             }
-            // Flat decodes four little-endian bytes per dim either way;
-            // there is no table or constant to amortize across codes.
+            // Flat decodes four little-endian bytes per dim with a single
+            // sequential accumulator; it stays scalar at every level (the
+            // deployment codecs are SQ8 and PQ — see DESIGN.md).
             QueryScorer::Flat { .. } => {
                 for (o, code) in out.iter_mut().zip(codes.chunks_exact(cs)) {
                     *o = self.score(code);
@@ -488,61 +481,44 @@ impl ScalarQuantizer {
     }
 
     /// Blocked form of [`ScalarQuantizer::score`]: per code the same
-    /// fused dequantize-and-accumulate order, but for SQ8 the
-    /// per-dimension `(q, min, scale)` constants are loaded once per
-    /// register tile of four codes instead of once per code.
-    fn score_block(&self, codes: &[u8], query: &[f32], metric: Metric, out: &mut [f32]) {
+    /// dequantize-and-accumulate operation order at every dispatch
+    /// level (tier A — bit-identical). SQ8 routes through the
+    /// level-dispatched `hermes_math::block` kernels, which vectorize
+    /// across codes and share the per-dimension `(q, min, scale)`
+    /// constants across a tile of codes; B4 codes (packed nibbles) take
+    /// the scalar path at every level.
+    fn score_block_at(
+        &self,
+        level: SimdLevel,
+        codes: &[u8],
+        query: &[f32],
+        metric: Metric,
+        out: &mut [f32],
+    ) {
         let cs = self.code_size();
-        let dim = self.dim();
-        let n = out.len();
-        let mut r = 0;
         if self.bits == SqBits::B8 {
-            while r + 4 <= n {
-                let c0 = &codes[r * cs..(r + 1) * cs];
-                let c1 = &codes[(r + 1) * cs..(r + 2) * cs];
-                let c2 = &codes[(r + 2) * cs..(r + 3) * cs];
-                let c3 = &codes[(r + 3) * cs..(r + 4) * cs];
-                let mut acc = [0.0f32; 4];
-                match metric {
-                    Metric::InnerProduct | Metric::Cosine => {
-                        for d in 0..dim {
-                            let q = query[d];
-                            let min = self.mins[d];
-                            let scale = self.scales[d];
-                            acc[0] += q * (min + c0[d] as f32 * scale);
-                            acc[1] += q * (min + c1[d] as f32 * scale);
-                            acc[2] += q * (min + c2[d] as f32 * scale);
-                            acc[3] += q * (min + c3[d] as f32 * scale);
-                        }
-                        out[r..r + 4].copy_from_slice(&acc);
-                    }
-                    Metric::L2 => {
-                        for d in 0..dim {
-                            let q = query[d];
-                            let min = self.mins[d];
-                            let scale = self.scales[d];
-                            let d0 = q - (min + c0[d] as f32 * scale);
-                            let d1 = q - (min + c1[d] as f32 * scale);
-                            let d2 = q - (min + c2[d] as f32 * scale);
-                            let d3 = q - (min + c3[d] as f32 * scale);
-                            acc[0] += d0 * d0;
-                            acc[1] += d1 * d1;
-                            acc[2] += d2 * d2;
-                            acc[3] += d3 * d3;
-                        }
-                        for (o, a) in out[r..r + 4].iter_mut().zip(&acc) {
-                            *o = -a;
-                        }
-                    }
-                }
-                r += 4;
+            match metric {
+                Metric::InnerProduct | Metric::Cosine => hermes_math::block::sq8_ip_block_at(
+                    level,
+                    query,
+                    &self.mins,
+                    &self.scales,
+                    codes,
+                    out,
+                ),
+                Metric::L2 => hermes_math::block::sq8_l2_block_at(
+                    level,
+                    query,
+                    &self.mins,
+                    &self.scales,
+                    codes,
+                    out,
+                ),
             }
+            return;
         }
-        // B4 codes (packed nibbles) and tile remainders take the scalar
-        // path; the per-code operation order is identical either way.
-        while r < n {
-            out[r] = self.score(&codes[r * cs..(r + 1) * cs], query, metric);
-            r += 1;
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self.score(&codes[r * cs..(r + 1) * cs], query, metric);
         }
     }
 
@@ -955,6 +931,19 @@ mod tests {
                         want.to_bits(),
                         "{spec} {metric} code {i}"
                     );
+                }
+                // Tier A: the same bit-identity must hold at every
+                // runnable dispatch level, not just the selected one.
+                for level in SimdLevel::available() {
+                    scorer.score_block_at(level, &codes, &mut out);
+                    for (i, got) in out.iter().enumerate() {
+                        let want = scorer.score(&codes[i * cs..(i + 1) * cs]);
+                        assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "{spec} {metric} {level} code {i}"
+                        );
+                    }
                 }
             }
         }

@@ -31,18 +31,30 @@
 
 pub mod bench;
 pub mod runner;
+pub mod simd_ref;
 pub mod strategy;
+pub mod ulp;
 
 pub use runner::{check, check_with, check_with_regressions, Config};
+pub use simd_ref::{reference_similarity, similarity_scale};
 pub use strategy::{
     f32_in, f64_in, tuple2, tuple3, u64_any, u64_in, usize_in, vec_of, Strategy,
+};
+pub use ulp::{
+    assert_ulp_eq, lane_ordered_fold, lane_ordered_sum, max_ulp_distance, ulp_at, ulp_within,
+    ulp_within_scaled,
 };
 
 /// One-stop import for property tests.
 pub mod prelude {
     pub use crate::runner::{check, check_with, check_with_regressions, Config};
+    pub use crate::simd_ref::{reference_similarity, similarity_scale};
     pub use crate::strategy::{
         f32_in, f64_in, tuple2, tuple3, u64_any, u64_in, usize_in, vec_of, Strategy,
+    };
+    pub use crate::ulp::{
+        assert_ulp_eq, lane_ordered_fold, lane_ordered_sum, max_ulp_distance, ulp_at, ulp_within,
+        ulp_within_scaled,
     };
     pub use crate::{prop_assert, prop_assert_eq};
 }

@@ -1,0 +1,274 @@
+//! ULP-distance assertions and the deterministic lane-ordered reduction
+//! reference behind the tier-B SIMD equivalence contract.
+//!
+//! The SIMD scoring kernels in `hermes-math` reassociate f32 additions
+//! (one accumulator lane per SIMD lane), so they cannot promise bit
+//! equality with the scalar kernels the way the SQ8/ADC integer paths
+//! do. Instead each dispatch level pins its semantics to a
+//! **deterministic lane-ordered reduction** ([`lane_ordered_fold`]) and
+//! cross-level agreement is asserted in **units in the last place**
+//! ([`max_ulp_distance`], [`ulp_within_scaled`]). See DESIGN.md
+//! "Scoring kernels" for the full two-tier contract and EXPERIMENTS.md
+//! for the pinned bound and its rationale.
+//!
+//! # Why ULPs and not an epsilon
+//!
+//! A fixed absolute epsilon is wrong at both ends of the float range: it
+//! is vacuous for large sums and unreachable for tiny ones. ULP distance
+//! — how many representable floats sit between two values — is
+//! scale-free. The one place it breaks down is *cancellation*: when a
+//! reduction's terms nearly cancel, the result's magnitude (and so its
+//! ULP size) collapses while the rounding errors stay proportional to
+//! the terms. [`ulp_within_scaled`] handles that case by measuring the
+//! ULP at the reduction's total variation (Σ|termᵢ|) instead of at the
+//! result.
+
+/// Maps a float to a point on the ordered number line such that
+/// adjacent representable floats are adjacent integers and `-x` mirrors
+/// `x` around zero. `+0.0` and `-0.0` map to the same point.
+fn ordered(x: f32) -> i64 {
+    let bits = x.to_bits();
+    if bits & 0x8000_0000 == 0 {
+        bits as i64
+    } else {
+        -((bits & 0x7fff_ffff) as i64)
+    }
+}
+
+/// Number of representable `f32` values between `a` and `b` (0 when
+/// they are bit-identical or both `±0.0`). Crossing zero counts floats
+/// on both sides, so the distance is sign-aware. NaNs compare equal to
+/// NaNs (distance 0, whatever the payload) and infinitely far
+/// (`u64::MAX`) from every non-NaN.
+pub fn max_ulp_distance(a: f32, b: f32) -> u64 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => 0,
+        (true, false) | (false, true) => u64::MAX,
+        (false, false) => ordered(a).abs_diff(ordered(b)),
+    }
+}
+
+/// The size of one ULP at `magnitude`: the gap between `|magnitude|`
+/// and the next representable float above it. Returns the subnormal
+/// step for zero/subnormal inputs and `+inf` for non-finite ones.
+pub fn ulp_at(magnitude: f32) -> f32 {
+    let x = magnitude.abs();
+    if !x.is_finite() {
+        return f32::INFINITY;
+    }
+    if x >= f32::MAX {
+        // The gap above MAX is not representable; use the one below.
+        return f32::MAX - f32::from_bits(f32::MAX.to_bits() - 1);
+    }
+    f32::from_bits(x.to_bits() + 1) - x
+}
+
+/// Whether `a` and `b` are within `max_ulp` representable floats of
+/// each other ([`max_ulp_distance`] semantics).
+pub fn ulp_within(a: f32, b: f32, max_ulp: u64) -> bool {
+    max_ulp_distance(a, b) <= max_ulp
+}
+
+/// Cancellation-aware ULP comparison: `|a - b| <= max_ulp *
+/// ulp_at(max(|a|, |b|, scale))`, evaluated in f64 so the tolerance
+/// itself cannot overflow.
+///
+/// `scale` should be the reduction's total variation — Σ|termᵢ| of the
+/// sum being compared (computed in f64). For well-conditioned sums
+/// `scale ≈ |result|` and this degenerates to a plain ULP bound; under
+/// cancellation it keeps the bound proportional to the rounding errors
+/// actually incurred. Non-finite values must match exactly (same
+/// infinity, or NaN vs NaN).
+pub fn ulp_within_scaled(a: f32, b: f32, max_ulp: u64, scale: f32) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return a.is_nan() && b.is_nan();
+    }
+    if a.is_infinite() || b.is_infinite() {
+        return a == b;
+    }
+    let at = a.abs().max(b.abs()).max(scale.abs());
+    let tol = max_ulp as f64 * ulp_at(at) as f64;
+    ((a as f64) - (b as f64)).abs() <= tol
+}
+
+/// Panics unless `got` is within `max_ulp` ULPs of `want`
+/// ([`max_ulp_distance`] semantics), printing the bit-level distance.
+#[track_caller]
+pub fn assert_ulp_eq(ctx: &str, got: f32, want: f32, max_ulp: u64) {
+    let d = max_ulp_distance(got, want);
+    assert!(
+        d <= max_ulp,
+        "{ctx}: {got:?} vs {want:?} differ by {d} ULP (bound {max_ulp})"
+    );
+}
+
+/// The deterministic lane-ordered reduction reference for the tier-B
+/// SIMD contract.
+///
+/// Folds elements `0..n` into `lanes` independent accumulators, striped
+/// the way a `lanes`-wide SIMD loop consumes them: accumulator `j`
+/// folds elements `j, j + lanes, j + 2*lanes, …` over the first
+/// `(n / lanes) * lanes` elements, **in index order**. The lane
+/// accumulators are then summed left to right (`((l0 + l1) + l2) + …`)
+/// and the tail elements (`n % lanes`) are folded sequentially into
+/// that total.
+///
+/// `term(acc, i)` must fold element `i` into `acc` — e.g.
+/// `|acc, i| acc + a[i] * b[i]` for an unfused dot product or
+/// `|acc, i| a[i].mul_add(b[i], acc)` for an FMA one. Every kernel in
+/// `hermes-math` is bit-identical to this reference at its own lane
+/// count and fusion mode (scalar: 4 lanes unfused; AVX2: 8 lanes fused;
+/// NEON: 4 lanes fused).
+pub fn lane_ordered_fold(n: usize, lanes: usize, mut term: impl FnMut(f32, usize) -> f32) -> f32 {
+    assert!(lanes >= 1, "reduction needs at least one lane");
+    let chunks = n / lanes;
+    let mut acc = vec![0.0f32; lanes];
+    for c in 0..chunks {
+        for (j, a) in acc.iter_mut().enumerate() {
+            *a = term(*a, c * lanes + j);
+        }
+    }
+    let mut sum = acc[0];
+    for &a in &acc[1..] {
+        sum += a;
+    }
+    for i in chunks * lanes..n {
+        sum = term(sum, i);
+    }
+    sum
+}
+
+/// [`lane_ordered_fold`] over a precomputed term slice with plain
+/// (unfused) addition — the reference for reductions whose terms are
+/// rounded before accumulation.
+pub fn lane_ordered_sum(terms: &[f32], lanes: usize) -> f32 {
+    lane_ordered_fold(terms.len(), lanes, |acc, i| acc + terms[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_floats_are_one_ulp_apart() {
+        let a = 1.0f32;
+        let b = f32::from_bits(a.to_bits() + 1);
+        assert_eq!(max_ulp_distance(a, b), 1);
+        assert_eq!(max_ulp_distance(b, a), 1);
+        assert_eq!(max_ulp_distance(a, a), 0);
+    }
+
+    #[test]
+    fn signed_zeros_are_zero_apart() {
+        assert_eq!(max_ulp_distance(0.0, -0.0), 0);
+        assert!(ulp_within(0.0, -0.0, 0));
+    }
+
+    #[test]
+    fn distance_across_zero_counts_both_sides() {
+        let tiny = f32::from_bits(1); // smallest positive subnormal
+        assert_eq!(max_ulp_distance(tiny, -tiny), 2);
+        assert_eq!(max_ulp_distance(tiny, 0.0), 1);
+    }
+
+    #[test]
+    fn nan_distances() {
+        assert_eq!(max_ulp_distance(f32::NAN, f32::NAN), 0);
+        assert_eq!(max_ulp_distance(f32::NAN, 1.0), u64::MAX);
+        assert!(!ulp_within(f32::NAN, 1.0, u64::MAX - 1));
+    }
+
+    #[test]
+    fn infinities_match_themselves_only() {
+        assert_eq!(max_ulp_distance(f32::INFINITY, f32::INFINITY), 0);
+        assert!(max_ulp_distance(f32::INFINITY, f32::MAX) >= 1);
+        assert!(ulp_within_scaled(f32::INFINITY, f32::INFINITY, 0, 1.0));
+        assert!(!ulp_within_scaled(f32::INFINITY, f32::MAX, u64::MAX, 1.0));
+    }
+
+    #[test]
+    fn ulp_at_matches_epsilon_at_one() {
+        // By definition ulp(1.0) == f32::EPSILON.
+        assert_eq!(ulp_at(1.0), f32::EPSILON);
+        assert_eq!(ulp_at(-1.0), f32::EPSILON);
+        // At 2.0 the exponent steps up: twice the gap.
+        assert_eq!(ulp_at(2.0), 2.0 * f32::EPSILON);
+        // Zero sits in the subnormal range.
+        assert_eq!(ulp_at(0.0), f32::from_bits(1));
+        assert!(ulp_at(f32::INFINITY).is_infinite());
+        assert!(ulp_at(f32::MAX).is_finite());
+    }
+
+    #[test]
+    fn scaled_comparison_tolerates_cancellation() {
+        // Two orders of summing [1e8, 1.0, -1e8]: sequential loses the
+        // 1.0 entirely, a reordered sum keeps it. In result-relative
+        // ULPs they are astronomically far apart; at the reduction's
+        // total variation (~2e8) they are well within a few ULPs.
+        let a = (1e8f32 + 1.0) - 1e8; // 0.0
+        let b = (1e8f32 - 1e8) + 1.0; // 1.0
+        assert!(max_ulp_distance(a, b) > 1_000_000);
+        assert!(ulp_within_scaled(a, b, 1, 2e8));
+        assert!(!ulp_within_scaled(a, b, 1, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "differ by")]
+    fn assert_ulp_eq_panics_past_the_bound() {
+        assert_ulp_eq("bound", 1.0, 1.0 + 4.0 * f32::EPSILON, 2);
+    }
+
+    #[test]
+    fn one_lane_fold_is_the_sequential_sum() {
+        let xs = [0.1f32, 0.2, 0.3, 0.4, 0.5];
+        let mut want = 0.0f32;
+        for &x in &xs {
+            want += x;
+        }
+        assert_eq!(lane_ordered_sum(&xs, 1).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn four_lane_fold_matches_the_scalar_kernel_pattern() {
+        // The scalar kernels in hermes-math accumulate 4 lanes over
+        // chunks of 4, sum lanes in order, then fold the tail — exactly
+        // lane_ordered_fold with lanes=4 and an unfused term.
+        use hermes_math::distance::inner_product;
+        use hermes_math::rng::seeded_rng;
+        let mut rng = seeded_rng(7);
+        for len in [1usize, 3, 4, 7, 8, 17, 31, 64, 80] {
+            let a: Vec<f32> = (0..len).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+            let b: Vec<f32> = (0..len).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
+            let reference = lane_ordered_fold(len, 4, |acc, i| acc + a[i] * b[i]);
+            assert_eq!(
+                reference.to_bits(),
+                inner_product(&a, &b).to_bits(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_striping_covers_every_element_exactly_once() {
+        // With terms of distinct powers of two the sum is exact in any
+        // order, so every lane count must produce the same value.
+        let xs: Vec<f32> = (0..12).map(|i| (1u32 << i) as f32).collect();
+        let want: f32 = xs.iter().sum();
+        for lanes in 1..=9 {
+            assert_eq!(lane_ordered_sum(&xs, lanes), want, "lanes {lanes}");
+        }
+    }
+
+    #[test]
+    fn fused_and_unfused_folds_differ_only_past_the_product_rounding() {
+        // mul_add keeps the unrounded product; with a product that
+        // rounds, the two folds diverge — which is exactly why each
+        // dispatch level pins its own fusion mode.
+        let a = [1.0000001f32, 3.0];
+        let b = [1.0000001f32, 5.0];
+        let unfused = lane_ordered_fold(2, 1, |acc, i| acc + a[i] * b[i]);
+        let fused = lane_ordered_fold(2, 1, |acc, i| a[i].mul_add(b[i], acc));
+        assert!(max_ulp_distance(unfused, fused) <= 1);
+        assert!(ulp_within_scaled(unfused, fused, 1, 16.0));
+    }
+}

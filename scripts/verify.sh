@@ -20,12 +20,28 @@ for threads in 1 16; do
     HERMES_THREADS="${threads}" cargo test -q --offline
 done
 
+# Re-run the suite at both ends of the SIMD dispatch ladder: whatever
+# the host CPU supports (auto) and the portable scalar reference. The
+# two-tier equivalence contract (DESIGN.md) pins quantized scoring to
+# identical bits at every level and f32 scoring to a 256-ULP envelope,
+# so the whole suite — including recall/threshold goldens — must pass
+# at both levels with no re-tuning.
+for simd in auto scalar; do
+    echo "== re-running tests with HERMES_SIMD=${simd} =="
+    HERMES_SIMD="${simd}" cargo test -q --offline
+done
+
 # Release-mode smoke run of the blocked-kernel microbench: asserts the
-# scalar, blocked and fused scan variants return bit-identical top-k
-# lists under the real optimizer flags (the suites above run the same
-# checks, but only at test opt levels).
+# scalar and blocked@scalar scan variants return bit-identical top-k
+# lists and the SIMD variants the same ranking under the real optimizer
+# flags (the suites above run the same checks, but only at test opt
+# levels). Runs once at the host dispatch level (printed by the bench)
+# and once pinned to scalar to cover both sides of the dispatch.
 echo "== ext_kernels smoke (release) =="
 HERMES_SMOKE=1 cargo run -p hermes-bench --release --offline --quiet --bin ext_kernels
+echo "== ext_kernels smoke (release, HERMES_SIMD=scalar) =="
+HERMES_SMOKE=1 HERMES_SIMD=scalar \
+    cargo run -p hermes-bench --release --offline --quiet --bin ext_kernels
 
 # Release-mode smoke of the telemetry layer: asserts the disabled and
 # enabled instrumented search paths return bit-identical hits and that

@@ -200,38 +200,83 @@ fn metrics_stay_in_unit_interval() {
     );
 }
 
-/// The blocked scoring kernels return exactly the same bits as the
-/// scalar kernels for every metric, at every dimension from 1 to 80 —
-/// odd tails, partial tiles and partial blocks included. This is the
-/// contract that lets every scan path switch to blocks without moving
-/// a single search result.
+/// The blocked scoring kernels obey the two-tier equivalence contract
+/// for every metric, at every dimension from 1 to 80 — odd tails,
+/// partial tiles and partial blocks included — and at **every dispatch
+/// level that can run on this machine**:
+///
+/// * at [`SimdLevel::Scalar`] the block kernels return exactly the same
+///   bits as the scalar [`Metric::similarity`] kernels (the contract
+///   that lets every scan path switch to blocks without moving a single
+///   search result),
+/// * every level is bit-identical to its deterministic lane-ordered
+///   reduction reference ([`reference_similarity`]), and
+/// * any two levels agree within the pinned 256-ULP bound, measured
+///   against the cancellation-aware [`similarity_scale`].
 #[test]
-fn blocked_kernels_are_bit_identical_to_scalar() {
+fn blocked_kernels_obey_the_two_tier_contract() {
+    const MAX_ULP: u64 = 256;
     let strat = tuple2(u64_in(0..50), usize_in(1..81));
     check_with(
-        "blocked_kernels_are_bit_identical_to_scalar",
+        "blocked_kernels_obey_the_two_tier_contract",
         &cfg(),
         &strat,
         |&(seed, dim)| {
             let mut rng = hermes::math::rng::seeded_rng(seed);
-            // 13 rows: not a multiple of the tile (4) or block (16) width.
+            // 13 rows: not a multiple of the tile (4), SIMD lane (4/8) or
+            // block width.
             let n = 13usize;
             let query: Vec<f32> = (0..dim).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
             let rows: Vec<f32> = (0..n * dim).map(|_| rng.next_f32() * 2.0 - 1.0).collect();
-            let mut out = vec![0.0f32; n];
+            let levels = SimdLevel::available();
+            let mut per_level = vec![vec![0.0f32; n]; levels.len()];
             for metric in [Metric::L2, Metric::InnerProduct, Metric::Cosine] {
-                metric.similarity_block(&query, &rows, dim, &mut out);
-                for (i, got) in out.iter().enumerate() {
-                    let want = metric.similarity(&query, &rows[i * dim..(i + 1) * dim]);
-                    prop_assert!(
-                        got.to_bits() == want.to_bits(),
-                        "{} dim {} row {}: {} vs {}",
-                        metric,
-                        dim,
-                        i,
-                        got,
-                        want
-                    );
+                for (out, &level) in per_level.iter_mut().zip(&levels) {
+                    metric.similarity_block_at(level, &query, &rows, dim, out);
+                    for (i, got) in out.iter().enumerate() {
+                        let row = &rows[i * dim..(i + 1) * dim];
+                        let want = reference_similarity(level, metric, &query, row);
+                        prop_assert!(
+                            got.to_bits() == want.to_bits(),
+                            "{} {} dim {} row {}: {} vs lane-ordered reference {}",
+                            level,
+                            metric,
+                            dim,
+                            i,
+                            got,
+                            want
+                        );
+                        if level == SimdLevel::Scalar {
+                            let scalar = metric.similarity(&query, row);
+                            prop_assert!(
+                                got.to_bits() == scalar.to_bits(),
+                                "scalar {} dim {} row {}: {} vs {}",
+                                metric,
+                                dim,
+                                i,
+                                got,
+                                scalar
+                            );
+                        }
+                    }
+                }
+                for li in 1..levels.len() {
+                    for i in 0..n {
+                        let row = &rows[i * dim..(i + 1) * dim];
+                        let scale = similarity_scale(metric, &query, row);
+                        prop_assert!(
+                            ulp_within_scaled(per_level[0][i], per_level[li][i], MAX_ULP, scale),
+                            "{} vs {} {} dim {} row {}: {} vs {} (scale {})",
+                            levels[0],
+                            levels[li],
+                            metric,
+                            dim,
+                            i,
+                            per_level[0][i],
+                            per_level[li][i],
+                            scale
+                        );
+                    }
                 }
             }
             Ok(())
@@ -240,7 +285,11 @@ fn blocked_kernels_are_bit_identical_to_scalar() {
 }
 
 /// `QueryScorer::score_block` agrees bit-for-bit with per-code
-/// `QueryScorer::score` for every codec family and metric.
+/// `QueryScorer::score` for every codec family and metric — at **every
+/// dispatch level**. Quantized scoring is tier A of the equivalence
+/// contract: integer dequantization and table lookups reassociate
+/// nothing, so SQ8 and ADC block scores are pinned to the exact bits of
+/// the scalar path on every CPU.
 #[test]
 fn scorer_block_matches_per_code_scoring() {
     check_with(
@@ -272,6 +321,22 @@ fn scorer_block_matches_per_code_scoring() {
                             got,
                             want
                         );
+                    }
+                    for level in SimdLevel::available() {
+                        let mut at = vec![0.0f32; corpus.embeddings().rows()];
+                        scorer.score_block_at(level, &codes, &mut at);
+                        for (i, (a, b)) in at.iter().zip(&out).enumerate() {
+                            prop_assert!(
+                                a.to_bits() == b.to_bits(),
+                                "{} {} {} code {}: {} vs {}",
+                                level,
+                                spec,
+                                metric,
+                                i,
+                                a,
+                                b
+                            );
+                        }
                     }
                 }
             }

@@ -32,11 +32,14 @@
 pub mod config;
 pub mod exec;
 pub mod persist;
+pub mod rebalance;
 pub mod search;
 pub mod store;
 
 pub use config::{HermesConfig, Routing, SplitStrategy};
 pub use exec::{Engine, QueryPlan, RouteOutcome, SearchStats};
+pub use persist::{PagedStoreReader, PersistError, PAGE_SIZE};
+pub use rebalance::{RebalanceAction, RebalanceConfig, Rebalancer};
 pub use search::{SearchOutcome, SearchPhaseCost};
 pub use store::{ClusterInfo, ClusteredStore};
 

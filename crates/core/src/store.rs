@@ -12,10 +12,16 @@ use crate::HermesError;
 pub struct ClusterInfo {
     /// Cluster index (= node id in a 1:1 placement).
     pub cluster: usize,
-    /// Number of documents in the shard.
+    /// Number of *live* documents in the shard (tombstoned rows excluded).
     pub size: usize,
-    /// Resident bytes of the shard's IVF index.
+    /// Resident bytes of the shard's IVF index (tombstoned rows still
+    /// count until compaction).
     pub memory_bytes: usize,
+    /// Tombstoned rows still resident in the shard.
+    pub tombstones: usize,
+    /// Centroid drift since build (or since the last rebalance touched
+    /// this cluster): `‖running − anchor‖ / (‖anchor‖ + ε)`.
+    pub drift: f32,
 }
 
 /// A datastore split into per-node IVF indices.
@@ -39,17 +45,27 @@ pub struct ClusterInfo {
 /// assert_eq!(store.num_clusters(), 3);
 /// # Ok::<(), hermes_core::HermesError>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ClusteredStore {
     config: HermesConfig,
     shards: Vec<IvfIndex>,
-    /// K-means centroid of each shard in the original embedding space
-    /// (used by centroid-only routing and diagnostics).
+    /// *Running* K-means centroid of each shard in the original embedding
+    /// space (used by centroid-only routing, insert routing and
+    /// diagnostics). Updated in place as documents insert/remove.
     split_centroids: Mat,
+    /// Centroid anchors for drift tracking: the split centroids as of
+    /// build time, re-anchored per cluster whenever a rebalance step
+    /// rebuilds that cluster.
+    anchor_centroids: Mat,
+    /// Live documents per shard (tombstoned rows excluded).
     sizes: Vec<usize>,
     /// Winning seed of the imbalance sweep (equals `config.seed` when no
     /// sweep ran).
     chosen_seed: u64,
+    /// Rebalance generation: 0 at build, +1 per applied split/merge
+    /// step. The serving layer swaps whole-store generations atomically
+    /// (see `hermes-serve`'s `GenerationCell`).
+    generation: u64,
 }
 
 impl ClusteredStore {
@@ -141,9 +157,11 @@ impl ClusteredStore {
         Ok(ClusteredStore {
             config: *config,
             shards,
+            anchor_centroids: split_centroids.clone(),
             split_centroids,
             sizes,
             chosen_seed,
+            generation: 0,
         })
     }
 
@@ -191,21 +209,9 @@ impl ClusteredStore {
         &self.split_centroids
     }
 
-    /// Mutable access to one shard (streaming-insert path).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cluster >= num_clusters()`.
-    pub(crate) fn shard_mut(&mut self, cluster: usize) -> &mut IvfIndex {
-        &mut self.shards[cluster]
-    }
-
-    /// Records one inserted document in the size table.
-    pub(crate) fn bump_size(&mut self, cluster: usize) {
-        self.sizes[cluster] += 1;
-    }
-
-    /// Reassembles a store from persisted parts (see `persist`).
+    /// Reassembles a store from legacy persisted parts (see `persist`):
+    /// drift anchors reset to the current centroids and the generation
+    /// to 0, since the monolithic v1 format does not carry them.
     pub(crate) fn from_parts(
         config: HermesConfig,
         shards: Vec<IvfIndex>,
@@ -216,14 +222,136 @@ impl ClusteredStore {
         ClusteredStore {
             config,
             shards,
+            anchor_centroids: split_centroids.clone(),
             split_centroids,
             sizes,
             chosen_seed,
+            generation: 0,
         }
     }
 
-    /// Per-cluster metadata (size, memory).
+    /// Reassembles a store with full mutable-state metadata (paged
+    /// persistence, rebalancer).
+    pub(crate) fn from_parts_full(
+        config: HermesConfig,
+        shards: Vec<IvfIndex>,
+        split_centroids: Mat,
+        anchor_centroids: Mat,
+        sizes: Vec<usize>,
+        chosen_seed: u64,
+        generation: u64,
+    ) -> Self {
+        ClusteredStore {
+            config,
+            shards,
+            split_centroids,
+            anchor_centroids,
+            sizes,
+            chosen_seed,
+            generation,
+        }
+    }
+
+    /// Rebalance generation (0 at build, +1 per applied split/merge).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The drift anchor of one cluster (the centroid as of build or the
+    /// last rebalance step that touched the cluster).
+    pub fn anchor_centroid(&self, cluster: usize) -> &[f32] {
+        self.anchor_centroids.row(cluster)
+    }
+
+    /// Per-cluster centroid drift since its anchor:
+    /// `‖running − anchor‖ / (‖anchor‖ + ε)`.
+    pub fn cluster_drift(&self) -> Vec<f32> {
+        (0..self.num_clusters())
+            .map(|c| {
+                let delta = hermes_math::distance::l2_sq(
+                    self.split_centroids.row(c),
+                    self.anchor_centroids.row(c),
+                )
+                .sqrt();
+                let base =
+                    hermes_math::distance::norm(self.anchor_centroids.row(c)) + f32::EPSILON;
+                delta / base
+            })
+            .collect()
+    }
+
+    /// Inserts a new document online: routes it to the cluster with the
+    /// nearest (running) split centroid, streams it into that shard's
+    /// IVF index and folds it into the running centroid. Returns the
+    /// chosen cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HermesError::Index`] on dimension mismatch.
+    pub fn insert(&mut self, id: u64, v: &[f32]) -> Result<usize, HermesError> {
+        let dim = self.split_centroids.cols();
+        if v.len() != dim {
+            return Err(HermesError::Index(
+                hermes_index::IndexError::DimensionMismatch {
+                    expected: dim,
+                    got: v.len(),
+                },
+            ));
+        }
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for c in 0..self.num_clusters() {
+            let d = hermes_math::distance::l2_sq(self.split_centroids.row(c), v);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        self.shards[best].add(id, v)?;
+        self.sizes[best] += 1;
+        hermes_kmeans::running_update(self.split_centroids.row_mut(best), v, self.sizes[best]);
+        Ok(best)
+    }
+
+    /// Removes a document by global id: tombstones it in whichever shard
+    /// holds it and removes its contribution from that cluster's running
+    /// centroid (using the decoded stored vector — deterministic, and
+    /// exact for lossless codecs). Returns the cluster it lived in, or
+    /// `None` if no live document carries `id`.
+    pub fn remove(&mut self, id: u64) -> Option<usize> {
+        for c in 0..self.num_clusters() {
+            if let Some(v) = self.shards[c].reconstruct(id) {
+                let removed = self.shards[c].remove(id);
+                debug_assert!(removed, "reconstructible rows are removable");
+                self.sizes[c] -= 1;
+                hermes_kmeans::running_downdate(
+                    self.split_centroids.row_mut(c),
+                    &v,
+                    self.sizes[c],
+                );
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Tombstoned rows still resident across all shards.
+    pub fn tombstones(&self) -> usize {
+        self.shards.iter().map(VectorIndex::tombstones).sum()
+    }
+
+    /// Compacts every shard in place (dense storage, tombstones
+    /// reclaimed). Search-equivalent bit for bit — see
+    /// [`hermes_index::VectorIndex::compact`].
+    pub fn compact(&mut self) {
+        for shard in self.shards.iter_mut() {
+            shard.compact();
+        }
+    }
+
+    /// Per-cluster metadata (live size, memory, tombstones, drift).
     pub fn cluster_infos(&self) -> Vec<ClusterInfo> {
+        let drift = self.cluster_drift();
         self.shards
             .iter()
             .enumerate()
@@ -231,21 +359,24 @@ impl ClusteredStore {
                 cluster,
                 size: self.sizes[cluster],
                 memory_bytes: shard.memory_bytes(),
+                tombstones: shard.tombstones(),
+                drift: drift[cluster],
             })
             .collect()
     }
 
-    /// Total resident bytes across shards.
+    /// Total resident bytes across shards (tombstoned rows included
+    /// until compaction).
     pub fn memory_bytes(&self) -> usize {
         self.shards.iter().map(VectorIndex::memory_bytes).sum()
     }
 
-    /// Total documents stored.
+    /// Total live documents stored.
     pub fn len(&self) -> usize {
         self.sizes.iter().sum()
     }
 
-    /// Whether the store holds no documents.
+    /// Whether the store holds no live documents.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

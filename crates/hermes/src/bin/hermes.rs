@@ -87,11 +87,16 @@ USAGE:
                 [--deep M] [--queries Q] [--seed S] [--threads T]
                 [--requests R] [--qps RATE] [--users U] [--think-us US]
                 [--capacity C] [--max-batch B] [--slo-us US] [--smoke]
+                [--churn]
 
 `serve` runs one open-loop serving session and reports per-class
 latency; `loadgen` drives closed and open loops and asserts every
 served result bit-identical to standalone engine execution (--smoke
-shrinks the workload for CI).
+shrinks the workload for CI). `loadgen --churn` instead mutates the
+store (inserts/removes) while serving and rebalances it live through
+a generation-swapped cell, asserting the incremental store is
+bit-identical to a stop-the-world rebalance at every generation
+boundary.
 
 Defaults: docs 20000, dim 64, topics 10, clusters 10, deep 3, k 5,
 queries 40, seed 42, batch 128, stride 16, nprobe 128, threads 0
@@ -101,7 +106,7 @@ capacity 64, max-batch 8, no SLO.";
 type Flags = HashMap<String, String>;
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["smoke"];
+const BOOL_FLAGS: &[&str] = &["smoke", "churn"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut out = Flags::new();
@@ -192,11 +197,13 @@ fn cmd_info(opts: &Flags) -> Result<(), String> {
     let store = load_store(opts)?;
     let cfg = store.config();
     println!(
-        "clusters {}  docs {}  imbalance {:.2}x  resident {:.1} MB",
+        "clusters {}  docs {}  imbalance {:.2}x  resident {:.1} MB  generation {}  tombstones {}",
         store.num_clusters(),
         store.len(),
         store.imbalance(),
-        store.memory_bytes() as f64 / 1e6
+        store.memory_bytes() as f64 / 1e6,
+        store.generation(),
+        store.tombstones(),
     );
     println!(
         "config: sample nProbe {}, deep nProbe {}, deep clusters {}, k {}, codec {}, metric {}",
@@ -204,10 +211,12 @@ fn cmd_info(opts: &Flags) -> Result<(), String> {
     );
     for info in store.cluster_infos() {
         println!(
-            "  cluster {:>2}: {:>8} docs  {:>10.2} KB",
+            "  cluster {:>2}: {:>8} docs  {:>10.2} KB  {:>6} tombstones  drift {:.3}",
             info.cluster,
             info.size,
-            info.memory_bytes as f64 / 1e3
+            info.memory_bytes as f64 / 1e3,
+            info.tombstones,
+            info.drift,
         );
     }
     Ok(())
@@ -476,6 +485,20 @@ fn cmd_loadgen(opts: &Flags) -> Result<(), String> {
     if smoke && !opts.contains_key("requests") {
         setup.requests = 60;
     }
+    if get_bool(opts, "churn") {
+        // Churn wants mutation volume comparable to shard size; default
+        // to a smaller corpus than the read-only loops unless the user
+        // pinned one.
+        let mut churn_opts = opts.clone();
+        churn_opts
+            .entry("docs".to_string())
+            .or_insert_with(|| if smoke { "2000" } else { "6000" }.to_string());
+        churn_opts
+            .entry("clusters".to_string())
+            .or_insert_with(|| "5".to_string());
+        let churn_setup = build_serve_setup(&churn_opts)?;
+        return cmd_loadgen_churn(&churn_setup, smoke);
+    }
     let qps = get_f64(opts, "qps", 500.0)?;
     let users = get_usize(opts, "users", 8)?;
     let think_us = get_u64(opts, "think-us", 0)?;
@@ -528,6 +551,149 @@ fn cmd_loadgen(opts: &Flags) -> Result<(), String> {
     print_serve_report("closed loop", &closed.serve);
     print_serve_report("open loop", &open.serve);
     println!("served results bit-identical to standalone execution ({checked} requests checked)");
+    Ok(())
+}
+
+/// Mutate-while-serving verification: a seeded stream of inserts,
+/// removes and queries runs through a generation-swapped server while
+/// the rebalancer splits/merges live. A stop-the-world twin applies the
+/// identical op stream offline; at every generation boundary the two
+/// stores must be **bit-identical** (paged images compared byte for
+/// byte), and every served completion must match standalone engine
+/// execution on its dispatch generation.
+fn cmd_loadgen_churn(setup: &ServeSetup, smoke: bool) -> Result<(), String> {
+    use hermes::math::rng::SeededRng;
+    use hermes::serve::Request;
+    use std::sync::Arc;
+
+    let ops = if smoke { 900 } else { 2_600 };
+    println!(
+        "churn loadgen: {} docs, {} clusters, {} seeded ops (inserts/removes/queries)",
+        setup.store.len(),
+        setup.store.num_clusters(),
+        ops
+    );
+
+    let cell = Arc::new(GenerationCell::new(setup.store.clone()));
+    let mut reference = setup.store.clone();
+    let rebalancer = Rebalancer::new(hermes::core::RebalanceConfig {
+        max_imbalance: 3.0,
+        ..Default::default()
+    });
+    let mut server = hermes::serve::Server::new(
+        GenerationBackend::new(cell.clone(), setup.threads),
+        setup.server_cfg,
+    );
+
+    let mut rng = SeededRng::new(setup.seed.wrapping_add(23));
+    let mut next_id = 1_000_000u64;
+    let mut inserted: Vec<u64> = Vec::new();
+    let mut now_ns = 0u64;
+    let mut queries_checked = 0usize;
+    let mut boundaries = 0usize;
+
+    for op in 0..ops {
+        now_ns += 2_000;
+        let roll = rng.gen_range(0u32..100);
+        if roll < 60 {
+            // Topical insert: pile onto cluster 0's (running) centroid so
+            // the skew the rebalancer must repair actually builds up.
+            let mut v = cell.current().split_centroid(0).to_vec();
+            for x in v.iter_mut() {
+                *x += (rng.next_f32() - 0.5) * 0.05;
+            }
+            let id = next_id;
+            next_id += 1;
+            let live_c = cell.mutate(|s| s.insert(id, &v)).map_err(|e| e.to_string())?;
+            let ref_c = reference.insert(id, &v).map_err(|e| e.to_string())?;
+            if live_c != ref_c {
+                return Err(format!("insert {id} routed to {live_c} live vs {ref_c} offline"));
+            }
+            inserted.push(id);
+        } else if roll < 72 {
+            if !inserted.is_empty() {
+                let i = rng.gen_range(0..inserted.len());
+                let id = inserted.swap_remove(i);
+                let live_c = cell.mutate(|s| s.remove(id));
+                let ref_c = reference.remove(id);
+                if live_c != ref_c {
+                    return Err(format!("remove {id}: {live_c:?} live vs {ref_c:?} offline"));
+                }
+            }
+        } else {
+            let q = setup.queries[rng.gen_range(0..setup.queries.len())].clone();
+            server.run_until(now_ns).map_err(|e| e.to_string())?;
+            let _ = server.submit(Request::new(op as u64, q, Priority::Standard, now_ns));
+            // Drain immediately so the completion's dispatch generation
+            // is the one published right now.
+            server.run_until(u64::MAX).map_err(|e| e.to_string())?;
+            let snapshot = cell.current();
+            let engine = Engine::for_store(&snapshot);
+            for done in server.take_completions() {
+                let standalone = engine.execute(&done.request.query).map_err(|e| e.to_string())?;
+                if done.outcome.as_ref() != Some(&standalone) {
+                    return Err(format!(
+                        "request {} diverged from standalone execution on its generation",
+                        done.request.id
+                    ));
+                }
+                queries_checked += 1;
+            }
+        }
+
+        // Rebalance checkpoint: run up to two incremental steps, each
+        // published via an atomic generation swap, the twin stopped-world.
+        if op % 64 == 63 {
+            for _ in 0..2 {
+                let live = cell.current();
+                let Some(action) = rebalancer.next_action(&live) else {
+                    break;
+                };
+                let ref_action = rebalancer
+                    .next_action(&reference)
+                    .ok_or("offline twin quiescent while live store wants rebalancing")?;
+                if ref_action != action {
+                    return Err(format!(
+                        "action divergence: {action:?} live vs {ref_action:?} offline"
+                    ));
+                }
+                let next = rebalancer.apply(&live, action).map_err(|e| e.to_string())?;
+                cell.swap(next);
+                reference = rebalancer.apply(&reference, ref_action).map_err(|e| e.to_string())?;
+                boundaries += 1;
+
+                let live = cell.current();
+                if live.to_paged_bytes() != reference.to_paged_bytes() {
+                    return Err(format!(
+                        "generation {} boundary: incremental store diverged from stop-the-world twin",
+                        live.generation()
+                    ));
+                }
+            }
+        }
+    }
+    server.run_until(u64::MAX).map_err(|e| e.to_string())?;
+
+    if boundaries == 0 {
+        return Err("churn workload never triggered a rebalance — no boundary was verified".into());
+    }
+    let live = cell.current();
+    if live.to_paged_bytes() != reference.to_paged_bytes() {
+        return Err("final state diverged from stop-the-world twin".into());
+    }
+    println!(
+        "served {} queries during churn, all bit-identical to their generation",
+        queries_checked
+    );
+    println!(
+        "verified {} generation boundaries bit-identical to stop-the-world rebalance \
+         (final: {} clusters, {} docs, generation {}, epoch {})",
+        boundaries,
+        live.num_clusters(),
+        live.len(),
+        live.generation(),
+        cell.epoch()
+    );
     Ok(())
 }
 

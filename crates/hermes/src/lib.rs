@@ -56,7 +56,8 @@ pub use hermes_trace as trace;
 /// The most commonly used types, importable in one line.
 pub mod prelude {
     pub use hermes_core::{
-        ClusteredStore, Engine, HermesConfig, QueryPlan, Routing, SearchStats, SplitStrategy,
+        ClusteredStore, Engine, HermesConfig, PagedStoreReader, PersistError, QueryPlan,
+        RebalanceAction, RebalanceConfig, Rebalancer, Routing, SearchStats, SplitStrategy,
     };
     pub use hermes_datagen::{
         ChunkStore, Corpus, CorpusSpec, DatastoreScale, QuerySet, QuerySpec,
@@ -73,7 +74,8 @@ pub mod prelude {
     pub use hermes_quant::{Codec, CodecSpec};
     pub use hermes_rag::{HashEncoder, RagPipeline, Retriever, RetrieverKind};
     pub use hermes_serve::{
-        ClosedLoopSpec, EngineBackend, OpenLoopSpec, Priority, Server, ServerConfig,
+        ClosedLoopSpec, EngineBackend, GenerationBackend, GenerationCell, OpenLoopSpec,
+        Priority, Server, ServerConfig,
     };
     pub use hermes_sim::{
         Deployment, DvfsMode, MultiNodeSim, PipelinePolicy, RetrievalScheme, ServingConfig,

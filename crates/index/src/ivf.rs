@@ -16,6 +16,19 @@ use crate::{IndexError, ScanStats, SearchParams, VectorIndex};
 struct InvertedList {
     ids: Vec<u64>,
     codes: Vec<u8>,
+    /// Tombstone bitmap, one flag per code slot. Dead codes stay in the
+    /// list (and are still scored — the blocked kernels' per-code scores
+    /// are position-independent, so filtering dead (id, score) pairs
+    /// *after* scoring keeps live-row admission bit-identical) until
+    /// compaction rebuilds the list densely.
+    dead: Vec<bool>,
+    dead_count: usize,
+}
+
+impl InvertedList {
+    fn live(&self) -> usize {
+        self.ids.len() - self.dead_count
+    }
 }
 
 /// Summary statistics about a built IVF index.
@@ -191,6 +204,7 @@ impl IvfBuilder {
             }
             lists[list].ids.push(id);
             lists[list].codes.extend_from_slice(&buf);
+            lists[list].dead.push(false);
         }
 
         Ok(IvfIndex {
@@ -223,12 +237,13 @@ impl IvfIndex {
         IvfBuilder::new()
     }
 
-    /// Build-time and occupancy statistics.
+    /// Build-time and occupancy statistics (live counts — tombstoned
+    /// codes are excluded).
     pub fn stats(&self) -> IvfStats {
         let (mut max_list, mut min_list) = (0usize, usize::MAX);
         for l in &self.lists {
-            max_list = max_list.max(l.ids.len());
-            min_list = min_list.min(l.ids.len());
+            max_list = max_list.max(l.live());
+            min_list = min_list.min(l.live());
         }
         IvfStats {
             nlist: self.lists.len(),
@@ -266,8 +281,56 @@ impl IvfIndex {
         }
         self.lists[list].ids.push(id);
         self.lists[list].codes.extend_from_slice(&buf);
+        self.lists[list].dead.push(false);
         self.len += 1;
         Ok(())
+    }
+
+    /// Decodes the stored vector for `id` (first live occurrence), adding
+    /// back the list centroid for residual storage. Lossy codecs return
+    /// the quantized reconstruction — deterministic, and exactly what a
+    /// migration re-encodes, so decode → re-add round-trips stably.
+    pub fn reconstruct(&self, id: u64) -> Option<Vec<f32>> {
+        let cs = self.codec.code_size();
+        for (li, list) in self.lists.iter().enumerate() {
+            for (pos, &stored) in list.ids.iter().enumerate() {
+                if stored == id && !list.dead[pos] {
+                    let code = &list.codes[pos * cs..(pos + 1) * cs];
+                    let mut v = self.codec.decode(code);
+                    if self.residual {
+                        hermes_math::distance::add_assign(
+                            &mut v,
+                            self.coarse.centroids().row(li),
+                        );
+                    }
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Decodes every live row in list-then-position order — the
+    /// deterministic export the cluster rebalancer migrates. Returns
+    /// `(id, vector)` pairs.
+    pub fn export_live(&self) -> Vec<(u64, Vec<f32>)> {
+        let cs = self.codec.code_size();
+        let mut out = Vec::with_capacity(self.len);
+        for (li, list) in self.lists.iter().enumerate() {
+            let centroid = self.coarse.centroids().row(li);
+            for (pos, &id) in list.ids.iter().enumerate() {
+                if list.dead[pos] {
+                    continue;
+                }
+                let code = &list.codes[pos * cs..(pos + 1) * cs];
+                let mut v = self.codec.decode(code);
+                if self.residual {
+                    hermes_math::distance::add_assign(&mut v, centroid);
+                }
+                out.push((id, v));
+            }
+        }
+        out
     }
 
     /// Whether vectors are stored as residuals from their list centroid.
@@ -278,8 +341,14 @@ impl IvfIndex {
     /// Serializes the index (coarse centroids, codec, inverted lists) to
     /// the workspace wire format — the offline-build → online-serving
     /// handoff of the paper's Appendix A.5.
+    ///
+    /// Tombstoned codes are dropped at serialization time (the on-disk
+    /// image is the compacted view). Compaction is search-equivalent bit
+    /// for bit, so a saved-then-loaded mutated index answers exactly like
+    /// the in-memory one.
     pub fn to_bytes(&self) -> Vec<u8> {
         use hermes_math::wire::{WireEncode, Writer};
+        let cs = self.codec.code_size();
         let mut w = Writer::new();
         w.header("HIVF", 1);
         w.u8(match self.metric {
@@ -293,9 +362,24 @@ impl IvfIndex {
         self.coarse.encode_wire(&mut w);
         self.codec.encode_wire(&mut w);
         w.u64(self.lists.len() as u64);
+        let mut ids = Vec::new();
+        let mut codes = Vec::new();
         for list in &self.lists {
-            w.u64s(&list.ids);
-            w.bytes(&list.codes);
+            if list.dead_count == 0 {
+                w.u64s(&list.ids);
+                w.bytes(&list.codes);
+            } else {
+                ids.clear();
+                codes.clear();
+                for (pos, &id) in list.ids.iter().enumerate() {
+                    if !list.dead[pos] {
+                        ids.push(id);
+                        codes.extend_from_slice(&list.codes[pos * cs..(pos + 1) * cs]);
+                    }
+                }
+                w.u64s(&ids);
+                w.bytes(&codes);
+            }
         }
         w.finish()
     }
@@ -342,7 +426,13 @@ impl IvfIndex {
                 return Err(WireError::Corrupt("code payload size mismatch".into()));
             }
             total += ids.len();
-            lists.push(InvertedList { ids, codes });
+            let dead = vec![false; ids.len()];
+            lists.push(InvertedList {
+                ids,
+                codes,
+                dead,
+                dead_count: 0,
+            });
         }
         if total != len {
             return Err(WireError::Corrupt(format!(
@@ -411,10 +501,60 @@ impl VectorIndex for IvfIndex {
     }
 
     fn memory_bytes(&self) -> usize {
+        // Tombstoned codes remain resident until compaction; the bitmap
+        // costs one byte per slot.
         let codes: usize = self.lists.iter().map(|l| l.codes.len()).sum();
         let ids: usize = self.lists.iter().map(|l| l.ids.len() * 8).sum();
+        let dead: usize = self.lists.iter().map(|l| l.dead.len()).sum();
         let centroids = self.coarse.num_clusters() * self.dim * 4;
-        codes + ids + centroids
+        codes + ids + dead + centroids
+    }
+
+    fn insert(&mut self, id: u64, v: &[f32]) -> Result<(), IndexError> {
+        self.add(id, v)
+    }
+
+    fn remove(&mut self, id: u64) -> bool {
+        for list in self.lists.iter_mut() {
+            for (pos, &stored) in list.ids.iter().enumerate() {
+                if stored == id && !list.dead[pos] {
+                    list.dead[pos] = true;
+                    list.dead_count += 1;
+                    self.len -= 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn tombstones(&self) -> usize {
+        self.lists.iter().map(|l| l.dead_count).sum()
+    }
+
+    fn compact(&mut self) {
+        let cs = self.codec.code_size();
+        for list in self.lists.iter_mut() {
+            if list.dead_count == 0 {
+                continue;
+            }
+            // Dense rebuild preserving relative live order: the scan
+            // scores codes position-independently, so post-compaction
+            // searches are bit-identical to the tombstoned scan.
+            let live = list.live();
+            let mut ids = Vec::with_capacity(live);
+            let mut codes = Vec::with_capacity(live * cs);
+            for (pos, &id) in list.ids.iter().enumerate() {
+                if !list.dead[pos] {
+                    ids.push(id);
+                    codes.extend_from_slice(&list.codes[pos * cs..(pos + 1) * cs]);
+                }
+            }
+            list.ids = ids;
+            list.codes = codes;
+            list.dead = vec![false; live];
+            list.dead_count = 0;
+        }
     }
 
     fn search_with_stats(
@@ -509,14 +649,29 @@ fn scan_list(
                 *s = o + *s;
             }
         }
-        top.push_block(&list.ids, &scores);
+        if list.dead_count == 0 {
+            top.push_block(&list.ids, &scores);
+        } else {
+            let mut ids = Vec::with_capacity(list.live());
+            let mut live = Vec::with_capacity(list.live());
+            for (pos, (&id, &s)) in list.ids.iter().zip(&scores).enumerate() {
+                if !list.dead[pos] {
+                    ids.push(id);
+                    live.push(s);
+                }
+            }
+            top.push_block(&ids, &live);
+        }
         return;
     }
     let mut scores = [0.0f32; BLOCK];
-    for (codes, ids) in list
+    let mut live_ids = [0u64; BLOCK];
+    let mut live_scores = [0.0f32; BLOCK];
+    for ((codes, ids), dead) in list
         .codes
         .chunks(cs * BLOCK)
         .zip(list.ids.chunks(BLOCK))
+        .zip(list.dead.chunks(BLOCK))
     {
         let out = &mut scores[..ids.len()];
         scorer.score_block(codes, out);
@@ -525,7 +680,23 @@ fn scan_list(
                 *s = o + *s;
             }
         }
-        top.push_block(ids, out);
+        if list.dead_count == 0 {
+            top.push_block(ids, out);
+        } else {
+            // Lazy tombstone skip: score the full block with the
+            // unchanged kernel, then compact dead (id, score) pairs out
+            // before admission — live rows keep their exact bits and
+            // admission order.
+            let mut n = 0usize;
+            for (j, (&id, &s)) in ids.iter().zip(out.iter()).enumerate() {
+                if !dead[j] {
+                    live_ids[n] = id;
+                    live_scores[n] = s;
+                    n += 1;
+                }
+            }
+            top.push_block(&live_ids[..n], &live_scores[..n]);
+        }
     }
 }
 
@@ -923,6 +1094,100 @@ mod tests {
             .search(&[42.0, 42.0, 42.0, 42.0], 1, &SearchParams::new().with_nprobe(2))
             .unwrap();
         assert_eq!(hits[0].id, 5000);
+    }
+
+    #[test]
+    fn remove_tombstones_and_compact_is_bit_identical() {
+        let data = clustered_data(300, 8, 5, 41);
+        let mut ivf = IvfIndex::builder()
+            .nlist(5)
+            .codec(CodecSpec::Sq8)
+            .metric(Metric::L2)
+            .seed(7)
+            .build(&data)
+            .unwrap();
+        for id in [3u64, 77, 150, 299] {
+            assert!(ivf.remove(id));
+        }
+        assert!(!ivf.remove(3), "double remove is a no-op");
+        assert_eq!(ivf.len(), 296);
+        assert_eq!(ivf.tombstones(), 4);
+        let params = SearchParams::new().with_nprobe(5);
+        let tombstoned: Vec<_> = (0..300)
+            .step_by(23)
+            .map(|qi| ivf.search(data.row(qi), 10, &params).unwrap())
+            .collect();
+        for hits in &tombstoned {
+            assert!(hits.iter().all(|h| ![3, 77, 150, 299].contains(&h.id)));
+        }
+        let mem_before = ivf.memory_bytes();
+        ivf.compact();
+        assert_eq!(ivf.tombstones(), 0);
+        assert!(ivf.memory_bytes() < mem_before);
+        for (qi, want) in (0..300).step_by(23).zip(&tombstoned) {
+            assert_eq!(&ivf.search(data.row(qi), 10, &params).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn serialization_drops_tombstones_but_answers_identically() {
+        let data = clustered_data(200, 8, 4, 42);
+        let mut ivf = IvfIndex::builder()
+            .nlist(4)
+            .codec(CodecSpec::Sq8)
+            .metric(Metric::L2)
+            .seed(9)
+            .build(&data)
+            .unwrap();
+        for id in [1u64, 50, 199] {
+            assert!(ivf.remove(id));
+        }
+        let loaded = IvfIndex::from_bytes(&ivf.to_bytes()).unwrap();
+        assert_eq!(loaded.len(), ivf.len());
+        assert_eq!(loaded.tombstones(), 0, "on-disk image is compacted");
+        let params = SearchParams::new().with_nprobe(4);
+        for qi in (0..200).step_by(31) {
+            assert_eq!(
+                loaded.search(data.row(qi), 8, &params).unwrap(),
+                ivf.search(data.row(qi), 8, &params).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn reconstruct_round_trips_lossless_codec() {
+        let data = clustered_data(100, 4, 2, 43);
+        let mut ivf = IvfIndex::builder()
+            .nlist(2)
+            .codec(CodecSpec::Flat)
+            .metric(Metric::L2)
+            .residual(true)
+            .build(&data)
+            .unwrap();
+        let got = ivf.reconstruct(17).unwrap();
+        for (a, b) in got.iter().zip(data.row(17)) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+        assert!(ivf.remove(17));
+        assert!(ivf.reconstruct(17).is_none(), "dead rows are not reconstructible");
+    }
+
+    #[test]
+    fn export_live_covers_exactly_the_survivors() {
+        let data = clustered_data(120, 4, 3, 44);
+        let mut ivf = IvfIndex::builder()
+            .nlist(3)
+            .codec(CodecSpec::Flat)
+            .metric(Metric::L2)
+            .build(&data)
+            .unwrap();
+        assert!(ivf.remove(5));
+        assert!(ivf.remove(80));
+        let exported = ivf.export_live();
+        assert_eq!(exported.len(), 118);
+        let ids: std::collections::BTreeSet<u64> = exported.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), 118);
+        assert!(!ids.contains(&5) && !ids.contains(&80));
     }
 
     #[test]

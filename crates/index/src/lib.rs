@@ -136,16 +136,45 @@ pub trait VectorIndex: Send + Sync {
     /// Vector dimensionality.
     fn dim(&self) -> usize;
 
-    /// Number of stored vectors.
+    /// Number of *live* (non-tombstoned) vectors. Mutable indices mark
+    /// removals with tombstones, so `len` can shrink without storage
+    /// moving; [`Self::tombstones`] counts the dead rows still resident.
     fn len(&self) -> usize;
 
-    /// Whether the index holds no vectors.
+    /// Whether the index holds no live vectors.
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// The similarity metric queries are ranked by.
     fn metric(&self) -> Metric;
+
+    /// Inserts one vector with an explicit id (in-place append; no
+    /// retraining). Duplicate ids are permitted and both rows are
+    /// served — deduplication is the caller's policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::DimensionMismatch`] on a wrong-sized vector.
+    fn insert(&mut self, id: u64, v: &[f32]) -> Result<(), IndexError>;
+
+    /// Tombstones the first live row carrying `id`. Returns `true` if a
+    /// row was removed, `false` if no live row matched. Storage is not
+    /// reclaimed until [`Self::compact`]; scans skip dead rows lazily and
+    /// live-row results are bit-identical to an index that never held
+    /// the removed row in tombstone position (see each implementation's
+    /// contract).
+    fn remove(&mut self, id: u64) -> bool;
+
+    /// Number of tombstoned rows still occupying storage.
+    fn tombstones(&self) -> usize;
+
+    /// Rebuilds dense storage, dropping tombstoned rows. Search results
+    /// over live rows are pinned equivalent to the pre-compaction index
+    /// (bit-identical for `Flat`/`Ivf`, whose per-row scores do not
+    /// depend on row position; a deterministic seeded rebuild for
+    /// `Hnsw`, whose graph is insertion-order dependent).
+    fn compact(&mut self);
 
     /// Resident bytes attributable to this index (codes, ids, graph links,
     /// centroids) — the quantity plotted in Figures 4 and 7.

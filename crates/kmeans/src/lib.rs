@@ -382,6 +382,42 @@ fn farthest_point(data: &Mat, centroids: &Mat, assignments: &[u32]) -> usize {
 /// Draws a uniformly random row subsample of `fraction` (clamped to at
 /// least one row) — the 1–2% subsampling the paper uses to make multi-seed
 /// K-means sweeps affordable on 100M+ document datastores.
+/// Folds one vector into a running mean: `c ← c + (v − c)/n` where `n`
+/// is the member count *including* `v`. This is the numerically stable
+/// Welford-style form the clustered store uses to keep split centroids
+/// tracking the live population as documents stream in.
+///
+/// # Panics
+///
+/// Panics if `centroid.len() != v.len()` or `count_after == 0`.
+pub fn running_update(centroid: &mut [f32], v: &[f32], count_after: usize) {
+    assert_eq!(centroid.len(), v.len(), "dimension mismatch");
+    assert!(count_after > 0, "running mean needs at least one member");
+    let inv = 1.0 / count_after as f32;
+    for (c, &x) in centroid.iter_mut().zip(v) {
+        *c += (x - *c) * inv;
+    }
+}
+
+/// Removes one vector's contribution from a running mean: the inverse of
+/// [`running_update`], with `count_after` the member count *excluding*
+/// `v`. With `count_after == 0` the centroid is left unchanged (an empty
+/// cluster keeps its last position as the routing anchor).
+///
+/// # Panics
+///
+/// Panics if `centroid.len() != v.len()`.
+pub fn running_downdate(centroid: &mut [f32], v: &[f32], count_after: usize) {
+    assert_eq!(centroid.len(), v.len(), "dimension mismatch");
+    if count_after == 0 {
+        return;
+    }
+    let inv = 1.0 / count_after as f32;
+    for (c, &x) in centroid.iter_mut().zip(v) {
+        *c += (*c - x) * inv;
+    }
+}
+
 pub fn subsample(data: &Mat, fraction: f64, seed: u64) -> Mat {
     let n = data.rows();
     let take = ((n as f64 * fraction.clamp(0.0, 1.0)).round() as usize).clamp(1, n);
@@ -719,5 +755,31 @@ mod tests {
         let cfg = KMeansConfig::new(4).with_init(Init::KMeansPlusPlus);
         let model = KMeans::train(&data, &cfg);
         assert_eq!(model.assignments().len(), 16);
+    }
+
+    #[test]
+    fn running_update_tracks_the_batch_mean() {
+        let points = [[1.0f32, 2.0], [3.0, 4.0], [5.0, 0.0], [-1.0, 6.0]];
+        let mut c = [0.0f32; 2];
+        for (i, p) in points.iter().enumerate() {
+            running_update(&mut c, p, i + 1);
+        }
+        assert!((c[0] - 2.0).abs() < 1e-5 && (c[1] - 3.0).abs() < 1e-5, "{c:?}");
+    }
+
+    #[test]
+    fn running_downdate_inverts_update() {
+        let mut c = [1.0f32, -1.0];
+        let v = [10.0f32, 5.0];
+        let before = c;
+        running_update(&mut c, &v, 4);
+        running_downdate(&mut c, &v, 3);
+        for (a, b) in c.iter().zip(&before) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        // Downdating the sole member leaves the anchor in place.
+        let mut lone = [2.0f32, 2.0];
+        running_downdate(&mut lone, &[2.0, 2.0], 0);
+        assert_eq!(lone, [2.0, 2.0]);
     }
 }

@@ -34,6 +34,21 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// 64-bit FNV-1a hash — the workspace's page/section checksum. Chosen
+/// over CRC because it is a dozen lines of dependency-free code with
+/// good avalanche on the byte-flip and truncation corruptions the
+/// persistence layer must detect; it is *not* cryptographic.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
 /// Sequential writer over a growable buffer.
 #[derive(Debug, Default)]
 pub struct Writer {
@@ -347,6 +362,21 @@ mod tests {
         let buf = w.finish();
         let mut r = Reader::new(&buf[..10]);
         assert!(r.u64s().is_err());
+    }
+
+    #[test]
+    fn checksum64_detects_single_byte_flips() {
+        let base = b"hermes paged store".to_vec();
+        let h = checksum64(&base);
+        // Known FNV-1a property: empty input hashes to the offset basis.
+        assert_eq!(checksum64(b""), 0xcbf2_9ce4_8422_2325);
+        for i in 0..base.len() {
+            let mut flipped = base.clone();
+            flipped[i] ^= 0x01;
+            assert_ne!(checksum64(&flipped), h, "flip at {i} undetected");
+        }
+        // Truncation by one byte changes the hash too.
+        assert_ne!(checksum64(&base[..base.len() - 1]), h);
     }
 
     #[test]

@@ -29,12 +29,14 @@
 //! (`tests/serving_oracle.rs`).
 
 pub mod batch;
+pub mod generation;
 pub mod loadgen;
 pub mod queue;
 pub mod request;
 pub mod server;
 
 pub use batch::{coalesce_groups, BatchPlan};
+pub use generation::{GenerationBackend, GenerationCell};
 pub use loadgen::{run_closed_loop, run_open_loop, ClosedLoopSpec, LoadReport, OpenLoopSpec};
 pub use queue::AdmissionQueue;
 pub use request::{Completion, Priority, Request, ShedReason, ShedRecord};

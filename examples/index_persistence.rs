@@ -9,7 +9,7 @@
 use hermes::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let path = std::env::temp_dir().join("hermes_example_store.hcls");
+    let path = std::env::temp_dir().join("hermes_example_store.hpgs");
 
     // --- Offline: build and persist (paper Appendix A.5 step 7). ---
     println!("[offline] building store...");
@@ -56,13 +56,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if found { "hit" } else { "miss (expected occasionally)" }
     );
 
-    // Mutations persist across restarts.
+    // Mutations persist across restarts — atomically: `save` writes a
+    // paged, per-page-checksummed image to a tmp sibling and renames it
+    // over the old snapshot, so a crash mid-save never loses the
+    // previous generation.
     serving.save(&path)?;
     let reloaded = ClusteredStore::load(&path)?;
     assert_eq!(reloaded.len(), serving.len());
     println!(
         "[online ] store persisted with {} docs total",
         reloaded.len()
+    );
+
+    // Cold start without materializing: a `PagedStoreReader` answers
+    // metadata queries after reading only the header, checksum table,
+    // and meta pages, then loads shards lazily on demand.
+    let mut reader = PagedStoreReader::open(&path)?;
+    println!(
+        "[reopen ] paged header: {} docs, {} clusters, generation {}, sizes {:?}",
+        reader.len(),
+        reader.num_clusters(),
+        reader.generation(),
+        reader.cluster_sizes(),
+    );
+    let shard0 = reader.load_shard(0)?;
+    println!(
+        "[reopen ] lazily materialized shard 0 only: {} docs",
+        shard0.len()
     );
     std::fs::remove_file(&path).ok();
     Ok(())

@@ -74,3 +74,33 @@ cargo run -p hermes --release --offline --quiet --bin hermes -- loadgen --smoke
 HERMES_THREADS=1 cargo run -p hermes --release --offline --quiet --bin hermes -- loadgen --smoke
 echo "== ext_serving smoke (release) =="
 HERMES_SMOKE=1 cargo run -p hermes-bench --release --offline --quiet --bin ext_serving
+
+# Churn smoke: `hermes loadgen --smoke --churn` drives a live store
+# through inserts/removes/queries while the incremental rebalancer swaps
+# generations underneath the server, and errors out unless the live
+# store is bit-identical (paged image bytes) to an offline stop-the-world
+# twin at every generation boundary. A second pass at width 1 pins the
+# inline dispatch path.
+echo "== hermes loadgen churn smoke (release) =="
+cargo run -p hermes --release --offline --quiet --bin hermes -- loadgen --smoke --churn
+HERMES_THREADS=1 cargo run -p hermes --release --offline --quiet --bin hermes -- \
+    loadgen --smoke --churn
+
+# Persistence round trip through the CLI: build writes a paged (HPGS)
+# snapshot via the atomic tmp+rename path, info/search cold-load it in a
+# separate process. `search` failing to find anything would exit nonzero.
+echo "== hermes build/info/search round trip (release) =="
+store_out="$(mktemp -d)"
+cargo run -p hermes --release --offline --quiet --bin hermes -- \
+    build --docs 4000 --dim 32 --clusters 6 --out "${store_out}/store.hpgs"
+cargo run -p hermes --release --offline --quiet --bin hermes -- \
+    info --store "${store_out}/store.hpgs"
+cargo run -p hermes --release --offline --quiet --bin hermes -- \
+    search --store "${store_out}/store.hpgs" --query "paged store smoke" --k 3
+rm -rf "${store_out}"
+
+# Persistence smoke from the bench harness: asserts the paged cold open
+# is at least 5x faster than full monolithic materialization and that an
+# opened reader agrees with the live store on metadata.
+echo "== ext_persist smoke (release) =="
+HERMES_SMOKE=1 cargo run -p hermes-bench --release --offline --quiet --bin ext_persist

@@ -12,6 +12,7 @@ const BINS: &[&str] = &[
     "fig12", "fig13", "fig14", "fig16", "fig17", "fig18", "fig19", "fig20",
     "fig21", "ablation_residual", "ext_tail_latency", "ext_intra_query",
     "ext_kernels", "ext_trace_overhead", "ext_serving", "ext_persist",
+    "ext_adaptive",
 ];
 
 fn main() {

@@ -1,0 +1,640 @@
+//! Semantic query/result caching — the knowledge-reuse layer the
+//! RAGCache line of work shows dominating RAG serving cost at scale
+//! (PAPERS.md), made real in front of the Hermes engine.
+//!
+//! [`SemanticCache`] memoizes *per-query results* (any `Clone` payload —
+//! the serving layer stores `SearchOutcome`s, the RAG pipeline stores
+//! retrievals) behind two lookup layers:
+//!
+//! 1. **Exact layer** — keyed on the query vector's raw bit pattern
+//!    (FNV-1a over the f32 bytes, collision-checked against the stored
+//!    vector). A repeat of a previously-answered query is a hit with no
+//!    float comparison at all, and the returned payload is byte-for-byte
+//!    the one computed before — bit-identical to recomputation at the
+//!    same store version by construction.
+//! 2. **Semantic layer** — near-duplicate detection by cosine similarity
+//!    over the encoder embedding, scanning only the entries whose
+//!    routing **top cluster** matches the probe's (the bucket structure:
+//!    lookups touch one bucket, not the whole cache). A hit returns the
+//!    *stored* query's payload, so its contract is explicitly
+//!    approximate: "this answer is exact for a query within `1 −
+//!    threshold` cosine of yours".
+//!
+//! Two mechanisms keep the cache honest under mutation and memory
+//! pressure:
+//!
+//! * **Version invalidation** — every entry is stamped with the caller's
+//!   store version (the serving layer uses `GenerationCell`'s mutation
+//!   counter). A lookup that lands on an entry from another version
+//!   evicts it and reports a *stale* miss instead of serving it; churn
+//!   can therefore never silently serve pre-swap results.
+//! * **Seeded-deterministic eviction** — at capacity, the victim slot is
+//!   drawn from an in-repo ChaCha8 [`hermes_math::SeededRng`]; the same
+//!   operation sequence on the same seed always evicts the same entries,
+//!   keeping cached workloads replayable end to end (randomized ≈ LRU in
+//!   hit rate on Zipf traffic, with none of the clock bookkeeping).
+//!
+//! All hit/miss/stale/bypass traffic is mirrored to `hermes-trace`
+//! counters (`cache.hit_exact`, `cache.hit_semantic`, `cache.miss`,
+//! `cache.stale`, `cache.bypass`, `cache.evict`) so `hermes stats` and
+//! the serving benches see cache behavior next to the engine spans.
+//!
+//! # Examples
+//!
+//! ```
+//! use hermes_cache::{CacheConfig, SemanticCache};
+//!
+//! let mut cache: SemanticCache<String> = SemanticCache::new(CacheConfig::default());
+//! let q = vec![0.6f32, 0.8];
+//! assert!(cache.lookup_exact(&q, 1).is_none());
+//! cache.insert(q.clone(), Some(3), 1, "answer".to_string());
+//! assert_eq!(cache.lookup_exact(&q, 1), Some(&"answer".to_string()));
+//! // A near-duplicate probe in the same routing bucket hits semantically.
+//! let near = vec![0.6004f32, 0.7997];
+//! let hit = cache.lookup_semantic(&near, Some(3), 1).unwrap();
+//! assert_eq!(hit.payload, "answer");
+//! // The same entry is stale at any other version.
+//! assert!(cache.lookup_exact(&q, 2).is_none());
+//! assert_eq!(cache.stats().stale, 1);
+//! ```
+
+use std::collections::HashMap;
+
+use hermes_math::{distance::cosine, rng::SeededRng};
+
+/// Knobs of a [`SemanticCache`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Maximum resident entries; inserting at capacity evicts a
+    /// seeded-random victim. Must be positive.
+    pub capacity: usize,
+    /// Cosine similarity at or above which a stored query counts as a
+    /// near-duplicate of the probe. Anything above `1.0` disables the
+    /// semantic layer (cosine never exceeds 1), leaving exact-only
+    /// caching.
+    pub semantic_threshold: f32,
+    /// Seed of the eviction RNG.
+    pub seed: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 1024,
+            semantic_threshold: 0.985,
+            seed: 0,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Sets the entry capacity.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the near-duplicate cosine threshold.
+    pub fn with_semantic_threshold(mut self, threshold: f32) -> Self {
+        self.semantic_threshold = threshold;
+        self
+    }
+
+    /// Disables the semantic layer (exact-key hits only).
+    pub fn exact_only(mut self) -> Self {
+        self.semantic_threshold = f32::INFINITY;
+        self
+    }
+
+    /// Sets the eviction RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Hit/miss accounting, also mirrored to `hermes-trace` counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Exact-key hits (bit-identical payload returns).
+    pub exact_hits: u64,
+    /// Near-duplicate cosine hits.
+    pub semantic_hits: u64,
+    /// Lookups that found nothing current.
+    pub misses: u64,
+    /// Entries evicted because a lookup touched them at the wrong store
+    /// version (each also counts toward the miss that triggered it).
+    pub stale: u64,
+    /// Requests that skipped the cache entirely (caller-declared, e.g. a
+    /// disabled cache path or an uncacheable request).
+    pub bypass: u64,
+    /// Successful inserts.
+    pub insertions: u64,
+    /// Capacity evictions (stale evictions are counted separately).
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total hits across both layers.
+    pub fn hits(&self) -> u64 {
+        self.exact_hits + self.semantic_hits
+    }
+
+    /// Lookups that went through the cache (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses
+    }
+
+    /// Hit fraction in `[0, 1]` (`0.0` when no lookups ran).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// A semantic-layer hit: the stored payload plus the provenance a caller
+/// needs to reason about the approximation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SemanticHit<T> {
+    /// The stored result (exact for `stored_query`, approximate for the
+    /// probe).
+    pub payload: T,
+    /// The query the payload was computed for.
+    pub stored_query: Vec<f32>,
+    /// Cosine similarity between probe and `stored_query` (≥ the
+    /// configured threshold).
+    pub similarity: f32,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    query: Vec<f32>,
+    key: u64,
+    bucket: Option<usize>,
+    version: u64,
+    payload: T,
+}
+
+/// The two-layer query/result cache. See the crate docs for the design;
+/// interior mutability is the caller's concern (the serving layer wraps
+/// one in a `Mutex`).
+#[derive(Debug)]
+pub struct SemanticCache<T> {
+    cfg: CacheConfig,
+    /// Entry slab; `None` slots are free. Bounded by `cfg.capacity`.
+    slots: Vec<Option<Entry<T>>>,
+    free: Vec<usize>,
+    /// Exact layer: query-bits hash → slot indices (collision chains).
+    exact: HashMap<u64, Vec<usize>>,
+    /// Semantic layer: routing top-cluster → slot indices, insertion
+    /// order.
+    buckets: HashMap<Option<usize>, Vec<usize>>,
+    rng: SeededRng,
+    stats: CacheStats,
+}
+
+/// FNV-1a over the query's f32 bit patterns: deterministic across runs
+/// and platforms (no `DefaultHasher` seed), collision-checked at lookup.
+/// Bit-pattern equality: the exact layer's notion of "same query".
+/// Stricter than `==` for zeros (`0.0` ≠ `-0.0`) and — unlike `==` —
+/// reflexive for NaNs, so a byte-identical replay always hits.
+fn same_bits(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn query_key(query: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in query {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+impl<T: Clone> SemanticCache<T> {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.capacity` is zero.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.capacity > 0, "cache capacity must be positive");
+        SemanticCache {
+            slots: Vec::new(),
+            free: Vec::new(),
+            exact: HashMap::new(),
+            buckets: HashMap::new(),
+            rng: SeededRng::new(cfg.seed),
+            stats: CacheStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration this cache runs.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Whether the semantic layer is active.
+    pub fn semantic_enabled(&self) -> bool {
+        self.cfg.semantic_threshold <= 1.0
+    }
+
+    /// **Layer 1:** looks up `query` by its exact bit pattern at store
+    /// `version`. A version-mismatched entry is evicted and counted as
+    /// stale, not served. Counts a hit on success and **nothing** on
+    /// miss — the caller decides whether a semantic lookup follows, and
+    /// reports the final miss via [`SemanticCache::note_miss`] (or by
+    /// calling [`SemanticCache::lookup_semantic`], which counts it).
+    pub fn lookup_exact(&mut self, query: &[f32], version: u64) -> Option<&T> {
+        let key = query_key(query);
+        let slot = self.exact.get(&key).and_then(|chain| {
+            chain
+                .iter()
+                .copied()
+                .find(|&i| match &self.slots[i] {
+                    Some(e) => same_bits(&e.query, query),
+                    None => false,
+                })
+        });
+        let i = slot?;
+        if self.slots[i].as_ref().map(|e| e.version) != Some(version) {
+            self.evict_slot(i, true);
+            return None;
+        }
+        self.stats.exact_hits += 1;
+        hermes_trace::counter("cache.hit_exact", 1);
+        self.slots[i].as_ref().map(|e| &e.payload)
+    }
+
+    /// **Layer 2:** scans the `bucket` posting list for the stored query
+    /// most cosine-similar to the probe; a hit needs similarity ≥ the
+    /// configured threshold **and** a matching `version`. Stale entries
+    /// touched by the scan are evicted; ties prefer the earliest insert.
+    /// Counts a semantic hit or a miss — call it after
+    /// [`SemanticCache::lookup_exact`] returned `None`.
+    pub fn lookup_semantic(
+        &mut self,
+        query: &[f32],
+        bucket: Option<usize>,
+        version: u64,
+    ) -> Option<SemanticHit<T>> {
+        if !self.semantic_enabled() {
+            self.note_miss();
+            return None;
+        }
+        let candidates: Vec<usize> = self.buckets.get(&bucket).cloned().unwrap_or_default();
+        let mut best: Option<(usize, f32)> = None;
+        let mut stale: Vec<usize> = Vec::new();
+        for i in candidates {
+            let entry = match &self.slots[i] {
+                Some(e) => e,
+                None => continue,
+            };
+            if entry.query.len() != query.len() {
+                continue;
+            }
+            let sim = cosine(query, &entry.query);
+            if !(sim >= self.cfg.semantic_threshold) {
+                continue;
+            }
+            if entry.version != version {
+                stale.push(i);
+                continue;
+            }
+            // Strictly-greater keeps the earliest insert on ties.
+            if best.map_or(true, |(_, s)| sim > s) {
+                best = Some((i, sim));
+            }
+        }
+        for i in stale {
+            self.evict_slot(i, true);
+        }
+        match best {
+            Some((i, similarity)) => {
+                self.stats.semantic_hits += 1;
+                hermes_trace::counter("cache.hit_semantic", 1);
+                let entry = self.slots[i].as_ref().expect("hit slot is occupied");
+                Some(SemanticHit {
+                    payload: entry.payload.clone(),
+                    stored_query: entry.query.clone(),
+                    similarity,
+                })
+            }
+            None => {
+                self.note_miss();
+                None
+            }
+        }
+    }
+
+    /// Records the miss of a lookup that ended after the exact layer
+    /// (when the semantic layer was skipped entirely).
+    pub fn note_miss(&mut self) {
+        self.stats.misses += 1;
+        hermes_trace::counter("cache.miss", 1);
+    }
+
+    /// Records a request that never consulted the cache.
+    pub fn note_bypass(&mut self) {
+        self.stats.bypass += 1;
+        hermes_trace::counter("cache.bypass", 1);
+    }
+
+    /// Inserts (or refreshes) the result for `query`, computed at store
+    /// `version` and routed to `bucket`. An existing entry for the same
+    /// bits is replaced in place (whatever its version — the new result
+    /// supersedes it); otherwise, at capacity, a seeded-random victim is
+    /// evicted first.
+    pub fn insert(&mut self, query: Vec<f32>, bucket: Option<usize>, version: u64, payload: T) {
+        let key = query_key(&query);
+        if let Some(chain) = self.exact.get(&key) {
+            if let Some(&i) = chain.iter().find(|&&i| {
+                self.slots[i]
+                    .as_ref()
+                    .map_or(false, |e| same_bits(&e.query, &query))
+            }) {
+                // Same query bits: refresh payload/version/bucket in place.
+                let old_bucket = self.slots[i].as_ref().map(|e| e.bucket).unwrap();
+                if old_bucket != bucket {
+                    self.unlink_bucket(old_bucket, i);
+                    self.buckets.entry(bucket).or_default().push(i);
+                }
+                let entry = self.slots[i].as_mut().unwrap();
+                entry.bucket = bucket;
+                entry.version = version;
+                entry.payload = payload;
+                self.stats.insertions += 1;
+                return;
+            }
+        }
+        if self.len() == self.cfg.capacity {
+            self.evict_random();
+        }
+        let entry = Entry {
+            query,
+            key,
+            bucket,
+            version,
+            payload,
+        };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(entry);
+                i
+            }
+            None => {
+                self.slots.push(Some(entry));
+                self.slots.len() - 1
+            }
+        };
+        self.exact.entry(key).or_default().push(i);
+        self.buckets.entry(bucket).or_default().push(i);
+        self.stats.insertions += 1;
+    }
+
+    /// Drops every resident entry (accounting is preserved).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.exact.clear();
+        self.buckets.clear();
+    }
+
+    /// Evicts one seeded-random occupied slot — deterministic for a given
+    /// seed and operation history.
+    fn evict_random(&mut self) {
+        debug_assert!(self.len() > 0);
+        loop {
+            let i = self.rng.gen_range(0..self.slots.len());
+            if self.slots[i].is_some() {
+                self.evict_slot(i, false);
+                return;
+            }
+        }
+    }
+
+    fn evict_slot(&mut self, i: usize, stale: bool) {
+        let entry = match self.slots[i].take() {
+            Some(e) => e,
+            None => return,
+        };
+        if let Some(chain) = self.exact.get_mut(&entry.key) {
+            chain.retain(|&j| j != i);
+            if chain.is_empty() {
+                self.exact.remove(&entry.key);
+            }
+        }
+        self.unlink_bucket(entry.bucket, i);
+        self.free.push(i);
+        if stale {
+            self.stats.stale += 1;
+            hermes_trace::counter("cache.stale", 1);
+        } else {
+            self.stats.evictions += 1;
+            hermes_trace::counter("cache.evict", 1);
+        }
+    }
+
+    fn unlink_bucket(&mut self, bucket: Option<usize>, i: usize) {
+        if let Some(list) = self.buckets.get_mut(&bucket) {
+            list.retain(|&j| j != i);
+            if list.is_empty() {
+                self.buckets.remove(&bucket);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(theta: f32) -> Vec<f32> {
+        vec![theta.cos(), theta.sin()]
+    }
+
+    #[test]
+    fn exact_hit_returns_stored_payload() {
+        let mut c: SemanticCache<u32> = SemanticCache::new(CacheConfig::default());
+        let q = vec![1.0f32, 2.0, 3.0];
+        assert!(c.lookup_exact(&q, 7).is_none());
+        c.insert(q.clone(), Some(0), 7, 42);
+        assert_eq!(c.lookup_exact(&q, 7), Some(&42));
+        assert_eq!(c.stats().exact_hits, 1);
+        // A ==-equal but bit-different query (negative zero) is not an
+        // exact hit.
+        c.insert(vec![0.0f32], Some(0), 7, 9);
+        let neg = vec![-0.0f32];
+        assert_eq!(neg[0], 0.0f32);
+        assert!(c.lookup_exact(&neg, 7).is_none());
+    }
+
+    #[test]
+    fn semantic_hit_respects_threshold_and_bucket() {
+        let cfg = CacheConfig::default().with_semantic_threshold(0.999);
+        let mut c: SemanticCache<&str> = SemanticCache::new(cfg);
+        c.insert(unit(0.00), Some(1), 0, "a");
+        // Within threshold, same bucket: hit with provenance.
+        let hit = c.lookup_semantic(&unit(0.01), Some(1), 0).unwrap();
+        assert_eq!(hit.payload, "a");
+        assert_eq!(hit.stored_query, unit(0.00));
+        assert!(hit.similarity >= 0.999);
+        // Same vector, wrong bucket: miss (buckets are hard partitions).
+        assert!(c.lookup_semantic(&unit(0.01), Some(2), 0).is_none());
+        // Same bucket, too far: miss.
+        assert!(c.lookup_semantic(&unit(0.5), Some(1), 0).is_none());
+        assert_eq!(c.stats().semantic_hits, 1);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn semantic_picks_the_most_similar_candidate() {
+        let cfg = CacheConfig::default().with_semantic_threshold(0.9);
+        let mut c: SemanticCache<&str> = SemanticCache::new(cfg);
+        c.insert(unit(0.30), None, 0, "far");
+        c.insert(unit(0.02), None, 0, "near");
+        let hit = c.lookup_semantic(&unit(0.0), None, 0).unwrap();
+        assert_eq!(hit.payload, "near");
+    }
+
+    #[test]
+    fn version_mismatch_is_stale_not_served() {
+        let mut c: SemanticCache<u32> = SemanticCache::new(CacheConfig::default());
+        let q = unit(0.2);
+        c.insert(q.clone(), Some(0), 1, 10);
+        // Exact lookup at a newer version: stale-evicted, then truly gone.
+        assert!(c.lookup_exact(&q, 2).is_none());
+        assert_eq!(c.stats().stale, 1);
+        assert!(c.is_empty());
+        assert!(c.lookup_exact(&q, 1).is_none());
+
+        // Semantic path: same behavior.
+        c.insert(q.clone(), Some(0), 1, 11);
+        assert!(c.lookup_semantic(&q, Some(0), 3).is_none());
+        assert_eq!(c.stats().stale, 2);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_refreshes_version_in_place() {
+        let mut c: SemanticCache<u32> = SemanticCache::new(CacheConfig::default());
+        let q = unit(0.4);
+        c.insert(q.clone(), Some(0), 1, 10);
+        c.insert(q.clone(), Some(2), 5, 20);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup_exact(&q, 5), Some(&20));
+        // The bucket moved with the refresh.
+        assert!(c.lookup_semantic(&q, Some(0), 5).is_none());
+        let hit = c.lookup_semantic(&q, Some(2), 5).unwrap();
+        assert_eq!(hit.payload, 20);
+    }
+
+    #[test]
+    fn capacity_eviction_is_bounded_and_deterministic() {
+        let run = |seed: u64| -> Vec<Option<u32>> {
+            let cfg = CacheConfig::default().with_capacity(8).with_seed(seed);
+            let mut c: SemanticCache<u32> = SemanticCache::new(cfg);
+            for i in 0..50u32 {
+                c.insert(vec![i as f32, 1.0], Some(i as usize % 3), 0, i);
+                assert!(c.len() <= 8);
+            }
+            (0..50u32)
+                .map(|i| c.lookup_exact(&[i as f32, 1.0], 0).copied())
+                .collect()
+        };
+        assert_eq!(c_total(&run(7)), 8);
+        assert_eq!(run(7), run(7), "same seed, same survivors");
+        assert_ne!(run(7), run(8), "different seed, different survivors");
+    }
+
+    fn c_total(v: &[Option<u32>]) -> usize {
+        v.iter().filter(|x| x.is_some()).count()
+    }
+
+    #[test]
+    fn exact_only_mode_never_hits_semantically() {
+        let mut c: SemanticCache<u32> = SemanticCache::new(CacheConfig::default().exact_only());
+        let q = unit(0.1);
+        c.insert(q.clone(), Some(0), 0, 1);
+        assert!(!c.semantic_enabled());
+        assert!(c.lookup_semantic(&q, Some(0), 0).is_none());
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.lookup_exact(&q, 0), Some(&1));
+    }
+
+    #[test]
+    fn nan_queries_never_hit_semantically() {
+        let cfg = CacheConfig::default().with_semantic_threshold(0.5);
+        let mut c: SemanticCache<u32> = SemanticCache::new(cfg);
+        c.insert(vec![f32::NAN, 1.0], None, 0, 1);
+        assert!(c.lookup_semantic(&[f32::NAN, 1.0], None, 0).is_none());
+        assert!(c.lookup_semantic(&[0.5, 1.0], None, 0).is_none());
+        // The NaN entry is still an exact-bits hit (same bit pattern).
+        assert_eq!(c.lookup_exact(&[f32::NAN, 1.0], 0), Some(&1));
+    }
+
+    #[test]
+    fn dimension_mismatch_skipped_in_semantic_scan() {
+        let cfg = CacheConfig::default().with_semantic_threshold(0.5);
+        let mut c: SemanticCache<u32> = SemanticCache::new(cfg);
+        c.insert(vec![1.0, 0.0, 0.0], None, 0, 1);
+        assert!(c.lookup_semantic(&[1.0, 0.0], None, 0).is_none());
+    }
+
+    #[test]
+    fn stats_roll_up_consistently() {
+        let mut c: SemanticCache<u32> = SemanticCache::new(CacheConfig::default());
+        let q = unit(0.3);
+        c.insert(q.clone(), Some(0), 0, 1);
+        let _ = c.lookup_exact(&q, 0); // exact hit
+        let _ = c.lookup_semantic(&unit(1.5), Some(0), 0); // miss
+        c.note_bypass();
+        let s = c.stats();
+        assert_eq!(s.hits(), 1);
+        assert_eq!(s.lookups(), 2);
+        assert_eq!(s.bypass, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_accounting() {
+        let mut c: SemanticCache<u32> = SemanticCache::new(CacheConfig::default());
+        c.insert(unit(0.1), None, 0, 1);
+        let _ = c.lookup_exact(&unit(0.1), 0);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().exact_hits, 1);
+        assert!(c.lookup_exact(&unit(0.1), 0).is_none());
+    }
+
+    #[test]
+    fn query_key_is_stable_and_bit_sensitive() {
+        let a = query_key(&[1.0, 2.0]);
+        assert_eq!(a, query_key(&[1.0, 2.0]));
+        assert_ne!(a, query_key(&[2.0, 1.0]));
+        assert_ne!(query_key(&[0.0]), query_key(&[-0.0]));
+        assert_ne!(query_key(&[]), query_key(&[0.0]));
+    }
+}

@@ -3,6 +3,8 @@
 use hermes_math::Metric;
 use hermes_quant::CodecSpec;
 
+use crate::adaptive::AdaptiveConfig;
+
 /// How the datastore is split into per-node clusters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SplitStrategy {
@@ -82,6 +84,12 @@ pub struct HermesConfig {
     pub routing: Routing,
     /// Base RNG seed.
     pub seed: u64,
+    /// Per-query adaptive-depth policy (`None` = the paper's fixed
+    /// Table 2 knobs). A **query-time** knob: it shapes how much work
+    /// each search does, never what the store contains, so persistence
+    /// deliberately does not serialize it — stores loaded from disk come
+    /// back with `None` and callers opt in per deployment.
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 impl HermesConfig {
@@ -99,6 +107,7 @@ impl HermesConfig {
             split: SplitStrategy::default(),
             routing: Routing::default(),
             seed: 0,
+            adaptive: None,
         }
     }
 
@@ -156,6 +165,12 @@ impl HermesConfig {
         self
     }
 
+    /// Enables per-query adaptive depth (see [`AdaptiveConfig`]).
+    pub fn with_adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
+        self.adaptive = Some(adaptive);
+        self
+    }
+
     /// Checks internal consistency.
     ///
     /// # Errors
@@ -194,6 +209,9 @@ impl HermesConfig {
                 )));
             }
         }
+        if let Some(adaptive) = &self.adaptive {
+            adaptive.validate()?;
+        }
         Ok(())
     }
 }
@@ -224,6 +242,14 @@ mod tests {
         assert!(HermesConfig::new(0).validate().is_err());
         assert!(HermesConfig::new(4).with_k(0).validate().is_err());
         assert!(HermesConfig::new(4).with_sample_nprobe(0).validate().is_err());
+    }
+
+    #[test]
+    fn adaptive_knobs_validated_through_config() {
+        let good = HermesConfig::new(8).with_adaptive(AdaptiveConfig::new(1, 3, 16, 128));
+        good.validate().unwrap();
+        let inverted = HermesConfig::new(8).with_adaptive(AdaptiveConfig::new(3, 1, 16, 128));
+        assert!(inverted.validate().is_err());
     }
 
     #[test]

@@ -57,6 +57,7 @@
 use hermes_index::{ScanStats, SearchParams, VectorIndex};
 use hermes_math::{topk::merge_topk, Neighbor};
 
+use crate::adaptive::{AdaptiveConfig, DifficultyEstimator};
 use crate::config::{HermesConfig, Routing};
 use crate::search::{SearchOutcome, SearchPhaseCost};
 use crate::store::ClusteredStore;
@@ -77,6 +78,11 @@ pub struct SearchStats {
     pub per_shard_scanned: Vec<usize>,
     /// Candidate hits the gather stage merged into the final top-k.
     pub gather_candidates: usize,
+    /// Deep-search `nProbe` this query actually ran with — the plan's
+    /// fixed knob, or the [`DifficultyEstimator`]'s per-query choice when
+    /// the plan carries an [`AdaptiveConfig`]. Together with
+    /// `deep.clusters_touched` this records the chosen adaptive depth.
+    pub deep_nprobe: usize,
 }
 
 impl SearchStats {
@@ -107,6 +113,13 @@ pub struct QueryPlan {
     /// the full shared pool, `1` runs the shards inline and sequentially,
     /// `t > 1` uses at most `t` threads.
     pub scatter_threads: usize,
+    /// Per-query adaptive-depth policy. `None` (the default) runs the
+    /// fixed `clusters_to_search`/`deep_nprobe` knobs bit-identically to
+    /// the pre-adaptive engine; `Some` lets the [`DifficultyEstimator`]
+    /// pick both per query from the routing scores (queries routed
+    /// without scores — [`Routing::Unranked`] — still use the fixed
+    /// knobs).
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 impl QueryPlan {
@@ -120,6 +133,7 @@ impl QueryPlan {
             clusters_to_search: cfg.clusters_to_search,
             k: cfg.k,
             scatter_threads: 0,
+            adaptive: cfg.adaptive,
         }
     }
 
@@ -130,6 +144,7 @@ impl QueryPlan {
         QueryPlan {
             routing: Routing::Unranked,
             clusters_to_search: usize::MAX,
+            adaptive: None,
             ..QueryPlan::from_config(cfg)
         }
     }
@@ -137,6 +152,12 @@ impl QueryPlan {
     /// Caps the intra-query fan-out (see [`QueryPlan::scatter_threads`]).
     pub fn with_scatter_threads(mut self, threads: usize) -> Self {
         self.scatter_threads = threads;
+        self
+    }
+
+    /// Sets (or clears) the per-query adaptive-depth policy.
+    pub fn with_adaptive(mut self, adaptive: Option<AdaptiveConfig>) -> Self {
+        self.adaptive = adaptive;
         self
     }
 }
@@ -147,20 +168,37 @@ impl QueryPlan {
 pub struct RouteOutcome {
     /// All clusters, best first.
     pub ranked_clusters: Vec<usize>,
+    /// Routing score of each ranked cluster, aligned with
+    /// `ranked_clusters` — the [`DifficultyEstimator`]'s input and the
+    /// semantic cache's bucketing signal. Empty for [`Routing::Unranked`],
+    /// which ranks without scoring.
+    pub ranked_scores: Vec<f32>,
     /// Route-stage work.
     pub cost: SearchPhaseCost,
+}
+
+impl RouteOutcome {
+    /// The best-ranked cluster, if any — the semantic cache's bucket key.
+    pub fn top_cluster(&self) -> Option<usize> {
+        self.ranked_clusters.first().copied()
+    }
 }
 
 /// Orders `(cluster, score)` pairs best-first: descending score, ties
 /// broken by ascending cluster id — the rank stage's deterministic
 /// tiebreak, shared by every routing mode.
-pub fn rank_by_score(mut scored: Vec<(usize, f32)>) -> Vec<usize> {
+pub fn rank_by_score(scored: Vec<(usize, f32)>) -> Vec<usize> {
+    rank_with_scores(scored).0
+}
+
+/// [`rank_by_score`], also returning the scores in rank order.
+pub fn rank_with_scores(mut scored: Vec<(usize, f32)>) -> (Vec<usize>, Vec<f32>) {
     scored.sort_by(|a, b| {
         b.1.partial_cmp(&a.1)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| a.0.cmp(&b.0))
     });
-    scored.into_iter().map(|(c, _)| c).collect()
+    scored.into_iter().unzip()
 }
 
 /// The query-execution engine: a [`QueryPlan`] bound to a
@@ -247,8 +285,10 @@ impl<'s> Engine<'s> {
                     .iter()
                     .map(|&c| (c, samples[c].0))
                     .collect::<Vec<_>>();
+                let (ranked_clusters, ranked_scores) = rank_with_scores(scored);
                 Ok(RouteOutcome {
-                    ranked_clusters: rank_by_score(scored),
+                    ranked_clusters,
+                    ranked_scores,
                     cost: SearchPhaseCost {
                         scanned_codes: scanned,
                         clusters_touched: n,
@@ -260,8 +300,10 @@ impl<'s> Engine<'s> {
                 let scored: Vec<(usize, f32)> = (0..n)
                     .map(|c| (c, metric.similarity(query, store.split_centroid(c))))
                     .collect();
+                let (ranked_clusters, ranked_scores) = rank_with_scores(scored);
                 Ok(RouteOutcome {
-                    ranked_clusters: rank_by_score(scored),
+                    ranked_clusters,
+                    ranked_scores,
                     cost: SearchPhaseCost {
                         // Centroid ranking scans one vector per cluster.
                         scanned_codes: n,
@@ -271,6 +313,7 @@ impl<'s> Engine<'s> {
             }
             Routing::Unranked => Ok(RouteOutcome {
                 ranked_clusters: (0..n).collect(),
+                ranked_scores: Vec::new(),
                 cost: SearchPhaseCost::default(),
             }),
         }
@@ -286,8 +329,9 @@ impl<'s> Engine<'s> {
         &self,
         query: &[f32],
         shards: &[usize],
+        deep_nprobe: usize,
     ) -> Result<Vec<(Vec<Neighbor>, ScanStats)>, HermesError> {
-        let params = SearchParams::new().with_nprobe(self.plan.deep_nprobe);
+        let params = SearchParams::new().with_nprobe(deep_nprobe);
         let k = self.plan.k;
         let mut sp = hermes_trace::span_with("engine.scatter", &[("shards", shards.len() as u64)]);
         let per_shard = self.fan_out(shards, |c| {
@@ -335,13 +379,60 @@ impl<'s> Engine<'s> {
     pub fn execute(&self, query: &[f32]) -> Result<SearchOutcome, HermesError> {
         let mut query_span = hermes_trace::span("engine.execute");
         let route = self.route(query)?;
-        let m = self.plan.clusters_to_search.min(route.ranked_clusters.len());
-        let searched: Vec<usize> = route.ranked_clusters[..m].to_vec();
-        let per_shard = self.scatter(query, &searched)?;
-        let outcome = self.gather(route, searched, per_shard);
+        let outcome = self.scatter_gather(query, route)?;
         query_span.arg("route_scanned", outcome.stats.route.scanned_codes as u64);
         query_span.arg("deep_scanned", outcome.stats.deep.scanned_codes as u64);
+        query_span.arg("deep_nprobe", outcome.stats.deep_nprobe as u64);
         Ok(outcome)
+    }
+
+    /// Executes the scatter + gather stages for a query that was already
+    /// routed — the cache layer's entry point, which routes misses once
+    /// (to bucket the semantic lookup) and must not pay the route stage
+    /// twice. `execute(q)` ≡ `execute_routed(q, route(q)?)` bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard error in the query's rank order.
+    pub fn execute_routed(
+        &self,
+        query: &[f32],
+        route: RouteOutcome,
+    ) -> Result<SearchOutcome, HermesError> {
+        let mut query_span = hermes_trace::span("engine.execute");
+        let outcome = self.scatter_gather(query, route)?;
+        query_span.arg("route_scanned", outcome.stats.route.scanned_codes as u64);
+        query_span.arg("deep_scanned", outcome.stats.deep.scanned_codes as u64);
+        query_span.arg("deep_nprobe", outcome.stats.deep_nprobe as u64);
+        Ok(outcome)
+    }
+
+    /// The scatter + gather tail shared by [`Engine::execute`] and
+    /// [`Engine::execute_routed`], resolving the per-query depth first.
+    fn scatter_gather(
+        &self,
+        query: &[f32],
+        route: RouteOutcome,
+    ) -> Result<SearchOutcome, HermesError> {
+        let (m_limit, deep_nprobe) = self.depth_for(&route);
+        let m = m_limit.min(route.ranked_clusters.len());
+        let searched: Vec<usize> = route.ranked_clusters[..m].to_vec();
+        let per_shard = self.scatter(query, &searched, deep_nprobe)?;
+        Ok(self.gather(route, searched, per_shard, deep_nprobe))
+    }
+
+    /// Resolves the per-query depth: the [`DifficultyEstimator`]'s choice
+    /// when the plan is adaptive and the route produced scores, the
+    /// plan's fixed knobs otherwise. Returns `(clusters_to_search,
+    /// deep_nprobe)`.
+    fn depth_for(&self, route: &RouteOutcome) -> (usize, usize) {
+        match self.plan.adaptive {
+            Some(cfg) if !route.ranked_scores.is_empty() => {
+                let choice = DifficultyEstimator::new(cfg).depth(&route.ranked_scores);
+                (choice.clusters, choice.deep_nprobe)
+            }
+            _ => (self.plan.clusters_to_search, self.plan.deep_nprobe),
+        }
     }
 
     /// Executes the pipeline for a whole batch, stealing queries from the
@@ -413,8 +504,6 @@ impl<'s> Engine<'s> {
         queries: &[Vec<f32>],
         threads: usize,
     ) -> Result<Vec<SearchOutcome>, HermesError> {
-        let mut batch_span =
-            hermes_trace::span_with("engine.coalesced", &[("queries", queries.len() as u64)]);
         let cap = if threads == 0 { usize::MAX } else { threads };
 
         // Route every query; keep per-query errors for input-order
@@ -427,11 +516,61 @@ impl<'s> Engine<'s> {
         } else {
             hermes_pool::Pool::global().try_parallel_map_capped(queries, cap, route_one)?
         };
-        let searched: Vec<Vec<usize>> = routes
+        self.coalesced_from_routes(queries, routes, cap)
+    }
+
+    /// [`Engine::execute_coalesced`] for queries that were already routed
+    /// — the cache layer's batch entry point (it routes misses once to
+    /// bucket semantic lookups, then scatters only the true misses).
+    /// Routes must be positionally aligned with `queries`;
+    /// `execute_coalesced(qs, t)` ≡
+    /// `execute_coalesced_routed(qs, route_batch(qs, t)?, t)` bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-query scatter error in input order
+    /// (rank order within a query), exactly like
+    /// [`Engine::execute_coalesced`].
+    pub fn execute_coalesced_routed(
+        &self,
+        queries: &[Vec<f32>],
+        routes: Vec<RouteOutcome>,
+        threads: usize,
+    ) -> Result<Vec<SearchOutcome>, HermesError> {
+        assert_eq!(
+            queries.len(),
+            routes.len(),
+            "one route per query, positionally aligned"
+        );
+        let cap = if threads == 0 { usize::MAX } else { threads };
+        self.coalesced_from_routes(queries, routes.into_iter().map(Ok).collect(), cap)
+    }
+
+    /// Shared scatter/gather tail of the two coalesced entry points.
+    fn coalesced_from_routes(
+        &self,
+        queries: &[Vec<f32>],
+        routes: Vec<Result<RouteOutcome, HermesError>>,
+        cap: usize,
+    ) -> Result<Vec<SearchOutcome>, HermesError> {
+        let mut batch_span =
+            hermes_trace::span_with("engine.coalesced", &[("queries", queries.len() as u64)]);
+        // Per-query depth (m, deep nProbe): fixed knobs or the adaptive
+        // policy's per-route choice — resolved once, then honored by both
+        // the group scatter and the per-query gather below.
+        let depths: Vec<(usize, usize)> = routes
             .iter()
             .map(|r| match r {
+                Ok(route) => self.depth_for(route),
+                Err(_) => (0, 0),
+            })
+            .collect();
+        let searched: Vec<Vec<usize>> = routes
+            .iter()
+            .zip(&depths)
+            .map(|(r, &(m_limit, _))| match r {
                 Ok(route) => {
-                    let m = self.plan.clusters_to_search.min(route.ranked_clusters.len());
+                    let m = m_limit.min(route.ranked_clusters.len());
                     route.ranked_clusters[..m].to_vec()
                 }
                 Err(_) => Vec::new(),
@@ -455,7 +594,6 @@ impl<'s> Engine<'s> {
         // errors are carried to the assembly step so the *query* input
         // order, not the cluster order, decides which error wins.
         type DeepResult = Result<(Vec<Neighbor>, ScanStats), HermesError>;
-        let params = SearchParams::new().with_nprobe(self.plan.deep_nprobe);
         let k = self.plan.k;
         let run_group = |&(c, ref qis): &(usize, Vec<usize>)| -> Result<Vec<DeepResult>, HermesError> {
             let mut sp = hermes_trace::span_with("shard.deep", &[("cluster", c as u64)]);
@@ -463,6 +601,7 @@ impl<'s> Engine<'s> {
             let results = qis
                 .iter()
                 .map(|&qi| {
+                    let params = SearchParams::new().with_nprobe(depths[qi].1);
                     let r = self.store.shard(c).search_with_stats(&queries[qi], k, &params);
                     if let Ok((_, stats)) = &r {
                         scanned += stats.scanned_codes as u64;
@@ -500,15 +639,15 @@ impl<'s> Engine<'s> {
         // and within a query route errors precede rank-order scatter
         // errors — matching execute_batch exactly.
         let mut outcomes = Vec::with_capacity(queries.len());
-        for ((route, query_searched), query_slots) in
-            routes.into_iter().zip(searched).zip(slots)
+        for (((route, query_searched), query_slots), (_, deep_nprobe)) in
+            routes.into_iter().zip(searched).zip(slots).zip(depths)
         {
             let route = route?;
             let mut per_shard = Vec::with_capacity(query_slots.len());
             for slot in query_slots {
                 per_shard.push(slot.expect("every searched cluster was scattered")?);
             }
-            outcomes.push(self.gather(route, query_searched, per_shard));
+            outcomes.push(self.gather(route, query_searched, per_shard, deep_nprobe));
         }
         batch_span.arg(
             "deep_searches",
@@ -529,6 +668,7 @@ impl<'s> Engine<'s> {
         route: RouteOutcome,
         searched: Vec<usize>,
         per_shard: Vec<(Vec<Neighbor>, ScanStats)>,
+        deep_nprobe: usize,
     ) -> SearchOutcome {
         let mut gather_span = hermes_trace::span("engine.gather");
         let per_cluster_hits: Vec<Vec<Neighbor>> =
@@ -544,6 +684,7 @@ impl<'s> Engine<'s> {
             },
             gather_candidates: per_cluster_hits.iter().map(Vec::len).sum(),
             per_shard_scanned,
+            deep_nprobe,
         };
         gather_span.arg("candidates", stats.gather_candidates as u64);
         drop(gather_span);
@@ -731,6 +872,121 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn execute_routed_matches_execute() {
+        let (corpus, queries) = setup();
+        for adaptive in [None, Some(AdaptiveConfig::new(1, 4, 16, 128))] {
+            let mut cfg = HermesConfig::new(6).with_seed(1).with_clusters_to_search(3);
+            cfg.adaptive = adaptive;
+            let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+            let engine = Engine::for_store(&store);
+            for q in queries.embeddings().iter_rows() {
+                let route = engine.route(q).unwrap();
+                assert_eq!(
+                    engine.execute_routed(q, route).unwrap(),
+                    engine.execute(q).unwrap(),
+                    "adaptive={adaptive:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coalesced_routed_matches_coalesced() {
+        let (corpus, queries) = setup();
+        for adaptive in [None, Some(AdaptiveConfig::new(1, 4, 16, 128))] {
+            let mut cfg = HermesConfig::new(6).with_seed(1).with_clusters_to_search(3);
+            cfg.adaptive = adaptive;
+            let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+            let engine = Engine::for_store(&store);
+            let batch = queries.to_vecs();
+            for threads in [0usize, 1, 4] {
+                let routes = engine.route_batch(&batch, threads).unwrap();
+                assert_eq!(
+                    engine
+                        .execute_coalesced_routed(&batch, routes, threads)
+                        .unwrap(),
+                    engine.execute_coalesced(&batch, threads).unwrap(),
+                    "adaptive={adaptive:?} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_depth_recorded_and_bounded() {
+        let (corpus, queries) = setup();
+        let adaptive = AdaptiveConfig::new(1, 4, 16, 96);
+        let cfg = HermesConfig::new(6)
+            .with_seed(1)
+            .with_clusters_to_search(3)
+            .with_adaptive(adaptive);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let engine = Engine::for_store(&store);
+        for q in queries.embeddings().iter_rows() {
+            let out = engine.execute(q).unwrap();
+            let m = out.searched_clusters.len();
+            assert!((1..=4).contains(&m), "m={m}");
+            assert!(
+                (16..=96).contains(&out.stats.deep_nprobe),
+                "nprobe={}",
+                out.stats.deep_nprobe
+            );
+            // The recorded depth matches a fresh estimate of the same route.
+            let route = engine.route(q).unwrap();
+            let choice = DifficultyEstimator::new(adaptive).depth(&route.ranked_scores);
+            assert_eq!(out.stats.deep_nprobe, choice.deep_nprobe);
+            assert_eq!(m, choice.clusters.min(store.num_clusters()));
+        }
+    }
+
+    #[test]
+    fn adaptive_paths_agree_at_every_width() {
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(6)
+            .with_seed(1)
+            .with_clusters_to_search(3)
+            .with_adaptive(AdaptiveConfig::new(1, 5, 8, 128));
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let engine = Engine::for_store(&store);
+        let batch = queries.to_vecs();
+        let reference = engine.execute_batch(&batch, 1).unwrap();
+        for threads in [0usize, 2, 64] {
+            assert_eq!(engine.execute_batch(&batch, threads).unwrap(), reference);
+            assert_eq!(engine.execute_coalesced(&batch, threads).unwrap(), reference);
+        }
+    }
+
+    #[test]
+    fn adaptive_without_route_scores_falls_back_to_fixed_knobs() {
+        let (corpus, queries) = setup();
+        let fixed = HermesConfig::new(6)
+            .with_seed(1)
+            .with_routing(Routing::Unranked)
+            .with_clusters_to_search(3);
+        let adaptive = fixed.with_adaptive(AdaptiveConfig::new(1, 5, 8, 64));
+        let store = ClusteredStore::build(corpus.embeddings(), &fixed).unwrap();
+        let out_fixed = Engine::new(&store, QueryPlan::from_config(&fixed))
+            .execute(queries.embeddings().row(0))
+            .unwrap();
+        let out_adaptive = Engine::new(&store, QueryPlan::from_config(&adaptive))
+            .execute(queries.embeddings().row(0))
+            .unwrap();
+        assert_eq!(out_fixed, out_adaptive);
+        assert_eq!(out_adaptive.stats.deep_nprobe, fixed.deep_nprobe);
+    }
+
+    #[test]
+    fn fixed_plan_records_plan_nprobe() {
+        let (corpus, queries) = setup();
+        let cfg = HermesConfig::new(6).with_seed(1).with_deep_nprobe(64);
+        let store = ClusteredStore::build(corpus.embeddings(), &cfg).unwrap();
+        let out = Engine::for_store(&store)
+            .execute(queries.embeddings().row(0))
+            .unwrap();
+        assert_eq!(out.stats.deep_nprobe, 64);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! engine and its work accounting), [`search`] (the store-level entry
 //! points).
 
+pub mod adaptive;
 pub mod config;
 pub mod exec;
 pub mod persist;
@@ -36,6 +37,7 @@ pub mod rebalance;
 pub mod search;
 pub mod store;
 
+pub use adaptive::{AdaptiveConfig, DepthChoice, Difficulty, DifficultyEstimator};
 pub use config::{HermesConfig, Routing, SplitStrategy};
 pub use exec::{Engine, QueryPlan, RouteOutcome, SearchStats};
 pub use persist::{PagedStoreReader, PersistError, PAGE_SIZE};

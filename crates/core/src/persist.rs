@@ -217,6 +217,10 @@ fn decode_config(r: &mut Reader<'_>) -> Result<HermesConfig, WireError> {
         split,
         routing,
         seed,
+        // Query-time knob, deliberately not part of the wire format:
+        // loaded stores always come back non-adaptive and callers opt in
+        // per deployment (see `HermesConfig::adaptive`).
+        adaptive: None,
     })
 }
 

@@ -20,12 +20,16 @@
 //! * **Arrival processes** ([`arrivals`]): seeded Poisson arrival streams
 //!   shared by the queueing simulator and the serving-layer load
 //!   generator, so oracle comparisons see bit-identical traces.
+//! * **Temporal repetition** ([`workload`]): repeated / bursty / drifting
+//!   query streams with seeded replay — the locality structure the
+//!   semantic result cache exploits (and the regime that defeats it).
 
 pub mod arrivals;
 pub mod chunks;
 pub mod corpus;
 pub mod query;
 pub mod scale;
+pub mod workload;
 pub mod zipf;
 
 pub use arrivals::{poisson_arrival_times_ns, poisson_arrival_times_s};
@@ -33,4 +37,5 @@ pub use chunks::ChunkStore;
 pub use corpus::{Corpus, CorpusSpec};
 pub use query::{QuerySet, QuerySpec};
 pub use scale::DatastoreScale;
+pub use workload::{query_stream, StreamKind, StreamSpec};
 pub use zipf::ZipfSampler;

@@ -124,4 +124,31 @@ mod tests {
     fn zero_ranks_panics() {
         let _ = ZipfSampler::new(0, 1.0);
     }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed_and_varies_across_seeds() {
+        let z = ZipfSampler::new(16, 1.0);
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng = seeded_rng(seed);
+            (0..64).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(5), draw(5), "same seed must replay the same trace");
+        assert_ne!(draw(5), draw(6), "distinct seeds should decorrelate");
+    }
+
+    #[test]
+    fn mass_ratios_follow_the_power_law() {
+        // p(r) ∝ 1/(r+1)^s, so mass(0)/mass(1) = 2^s exactly.
+        for s in [0.5, 0.8, 1.0, 1.5] {
+            let z = ZipfSampler::new(32, s);
+            let want = 2f64.powf(s);
+            let got = z.mass(0) / z.mass(1);
+            assert!((got - want).abs() < 1e-9, "s={s}: {got} vs {want}");
+            // Head concentration grows with the exponent.
+        }
+        let flat = ZipfSampler::new(32, 0.5);
+        let steep = ZipfSampler::new(32, 1.5);
+        assert!(steep.mass(0) > flat.mass(0));
+        assert!(steep.mass(31) < flat.mass(31));
+    }
 }

@@ -79,6 +79,7 @@ USAGE:
                 [--threads T]
   hermes stats  [--docs N] [--dim D] [--topics T] [--clusters C]
                 [--deep M] [--queries Q] [--seed S] [--threads T]
+                [--cache] [--adaptive] [--requests R]
   hermes serve  [--docs N] [--dim D] [--topics T] [--clusters C]
                 [--deep M] [--queries Q] [--seed S] [--threads T]
                 [--requests R] [--qps RATE] [--capacity C]
@@ -88,6 +89,12 @@ USAGE:
                 [--requests R] [--qps RATE] [--users U] [--think-us US]
                 [--capacity C] [--max-batch B] [--slo-us US] [--smoke]
                 [--churn]
+
+`stats --cache` replays a Zipf-repeated query stream through the
+semantic cache and prints its hit/miss/stale counters; `--adaptive`
+runs per-query adaptive retrieval depth and prints the chosen-depth
+histogram (the flags compose). Both verify served results against
+standalone engine execution before reporting.
 
 `serve` runs one open-loop serving session and reports per-class
 latency; `loadgen` drives closed and open loops and asserts every
@@ -106,7 +113,7 @@ capacity 64, max-batch 8, no SLO.";
 type Flags = HashMap<String, String>;
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["smoke", "churn"];
+const BOOL_FLAGS: &[&str] = &["smoke", "churn", "cache", "adaptive"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut out = Flags::new();
@@ -209,6 +216,17 @@ fn cmd_info(opts: &Flags) -> Result<(), String> {
         "config: sample nProbe {}, deep nProbe {}, deep clusters {}, k {}, codec {}, metric {}",
         cfg.sample_nprobe, cfg.deep_nprobe, cfg.clusters_to_search, cfg.k, cfg.codec, cfg.metric
     );
+    match &cfg.adaptive {
+        Some(a) => println!(
+            "adaptive depth: on (clusters {}..{}, deep nProbe {}..{}, entropy weight {}‰)",
+            a.min_clusters, a.max_clusters, a.min_deep_nprobe, a.max_deep_nprobe,
+            a.entropy_weight_permille
+        ),
+        None => println!(
+            "adaptive depth: off — persisted stores load with fixed knobs; \
+             opt in per deployment (`stats --adaptive`, HermesConfig::with_adaptive)"
+        ),
+    }
     for info in store.cluster_infos() {
         println!(
             "  cluster {:>2}: {:>8} docs  {:>10.2} KB  {:>6} tombstones  drift {:.3}",
@@ -354,10 +372,121 @@ fn cmd_trace(opts: &Flags) -> Result<(), String> {
 }
 
 fn cmd_stats(opts: &Flags) -> Result<(), String> {
+    let use_cache = get_bool(opts, "cache");
+    let use_adaptive = get_bool(opts, "adaptive");
+    if use_cache || use_adaptive {
+        return cmd_stats_cached(opts, use_cache, use_adaptive);
+    }
     let snap = run_traced_workload(opts)?;
     let summary = hermes::metrics::trace_report::render_summary(&snap)
         .map_err(|e| format!("unbalanced trace: {e}"))?;
     print!("{summary}");
+    Ok(())
+}
+
+/// `stats --cache` / `--adaptive`: replay a Zipf-repeated query stream
+/// through the serving backend — cache-fronted and/or depth-adaptive —
+/// verify every completion against standalone engine execution, and
+/// print the cache counters and chosen-depth histogram.
+fn cmd_stats_cached(opts: &Flags, use_cache: bool, use_adaptive: bool) -> Result<(), String> {
+    use hermes::serve::{Backend, Request};
+    use std::sync::Arc;
+
+    let (spec, mut cfg) = build_config(opts)?;
+    let pool_size = get_usize(opts, "queries", 40)?;
+    let requests = get_usize(opts, "requests", 200)?;
+    let threads = get_usize(opts, "threads", 0)?;
+    if use_adaptive {
+        // Fixed knobs become the ceiling; easy queries may pay as little
+        // as one cluster at half the deep nProbe.
+        cfg = cfg.with_adaptive(AdaptiveConfig::new(
+            1,
+            cfg.clusters_to_search,
+            (cfg.deep_nprobe / 2).max(1),
+            cfg.deep_nprobe,
+        ));
+        cfg.validate().map_err(|e| e.to_string())?;
+    }
+    println!(
+        "replaying {requests} Zipf-repeated requests over a {pool_size}-query pool \
+         ({} docs, {} clusters, cache {}, adaptive {})",
+        spec.num_docs,
+        cfg.num_clusters,
+        if use_cache { "on" } else { "off" },
+        if use_adaptive { "on" } else { "off" },
+    );
+    let corpus = Corpus::generate(spec);
+    let pool = QuerySet::generate(
+        &corpus,
+        QuerySpec::new(pool_size).with_seed(spec.seed.wrapping_add(7)),
+    );
+    let store = ClusteredStore::build(corpus.embeddings(), &cfg).map_err(|e| e.to_string())?;
+    let stream = query_stream(
+        &pool,
+        StreamSpec::repeated(requests).with_seed(spec.seed.wrapping_add(13)),
+    );
+
+    let cell = Arc::new(GenerationCell::new(store));
+    let cached =
+        use_cache.then(|| CachedBackend::new(cell.clone(), threads, CacheConfig::default()));
+    let plain = GenerationBackend::new(cell.clone(), threads);
+    let mut outcomes = Vec::with_capacity(stream.len());
+    for (batch_no, chunk) in stream.chunks(8).enumerate() {
+        let reqs: Vec<Request> = chunk
+            .iter()
+            .enumerate()
+            .map(|(j, q)| {
+                Request::new((batch_no * 8 + j) as u64, q.clone(), Priority::Standard, 0)
+            })
+            .collect();
+        let out = match &cached {
+            Some(b) => b.run(&reqs),
+            None => plain.run(&reqs),
+        }
+        .map_err(|e| e.to_string())?;
+        outcomes.extend(out.outcomes);
+    }
+
+    // Every completion either equals standalone recomputation or is an
+    // (accounted) semantic hit serving the stored query's outcome.
+    let snapshot = cell.current();
+    let engine = Engine::for_store(&snapshot);
+    let mut histogram = DepthHistogram::new();
+    let mut divergent = 0u64;
+    for (q, got) in stream.iter().zip(&outcomes) {
+        histogram.record(got.searched_clusters.len());
+        if *got != engine.execute(q).map_err(|e| e.to_string())? {
+            divergent += 1;
+        }
+    }
+    let semantic_hits = cached.as_ref().map_or(0, |b| b.cache_stats().semantic_hits);
+    if divergent > semantic_hits {
+        return Err(format!(
+            "{divergent} completions diverged from standalone execution \
+             but only {semantic_hits} semantic hits can explain divergence"
+        ));
+    }
+
+    if let Some(backend) = &cached {
+        let s = backend.cache_stats();
+        let effect = CacheEffect {
+            exact_hits: s.exact_hits,
+            semantic_hits: s.semantic_hits,
+            misses: s.misses,
+            stale: s.stale,
+            bypass: s.bypass,
+            evictions: s.evictions,
+        };
+        print!("{}", effect.table("semantic cache").render());
+    }
+    if use_adaptive {
+        print!("{}", histogram.table("adaptive retrieval depth").render());
+    }
+    println!(
+        "verified {} completions against standalone execution \
+         ({divergent} served as semantic near-duplicates)",
+        outcomes.len()
+    );
     Ok(())
 }
 

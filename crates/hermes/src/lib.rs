@@ -7,6 +7,7 @@
 //! | Module | Crate | Role |
 //! |---|---|---|
 //! | [`core`] | `hermes-core` | datastore disaggregation + the scatter–gather query-execution engine (the contribution) |
+//! | [`cache`] | `hermes-cache` | exact + near-duplicate semantic result cache with generation invalidation |
 //! | [`index`] | `hermes-index` | Flat / IVF / HNSW ANN indices (FAISS substitute) |
 //! | [`quant`] | `hermes-quant` | SQ8/SQ4/PQ/OPQ codecs |
 //! | [`kmeans`] | `hermes-kmeans` | Lloyd's K-means + seed-swept splitting |
@@ -39,6 +40,7 @@
 //! # Ok::<(), hermes::core::HermesError>(())
 //! ```
 
+pub use hermes_cache as cache;
 pub use hermes_core as core;
 pub use hermes_datagen as datagen;
 pub use hermes_index as index;
@@ -55,18 +57,23 @@ pub use hermes_trace as trace;
 
 /// The most commonly used types, importable in one line.
 pub mod prelude {
+    pub use hermes_cache::{CacheConfig, CacheStats, SemanticCache};
     pub use hermes_core::{
-        ClusteredStore, Engine, HermesConfig, PagedStoreReader, PersistError, QueryPlan,
-        RebalanceAction, RebalanceConfig, Rebalancer, Routing, SearchStats, SplitStrategy,
+        AdaptiveConfig, ClusteredStore, DepthChoice, DifficultyEstimator, Engine, HermesConfig,
+        PagedStoreReader, PersistError, QueryPlan, RebalanceAction, RebalanceConfig, Rebalancer,
+        Routing, SearchStats, SplitStrategy,
     };
     pub use hermes_datagen::{
-        ChunkStore, Corpus, CorpusSpec, DatastoreScale, QuerySet, QuerySpec,
+        query_stream, ChunkStore, Corpus, CorpusSpec, DatastoreScale, QuerySet, QuerySpec,
+        StreamKind, StreamSpec,
     };
     pub use hermes_index::{
         FlatIndex, HnswIndex, IvfIndex, SearchParams, VectorIndex,
     };
     pub use hermes_math::{simd_level, Mat, Metric, Neighbor, SimdLevel};
-    pub use hermes_metrics::{ndcg_at_k, recall_at_k, CostBreakdown, EnergyMeter};
+    pub use hermes_metrics::{
+        ndcg_at_k, recall_at_k, CacheEffect, CostBreakdown, DepthHistogram, EnergyMeter,
+    };
     pub use hermes_perfmodel::{
         ClusterPlanner, CpuPlatform, EncoderModel, GpuPlatform, InferenceModel, LlmModel,
         RetrievalModel,
@@ -74,8 +81,8 @@ pub mod prelude {
     pub use hermes_quant::{Codec, CodecSpec};
     pub use hermes_rag::{HashEncoder, RagPipeline, Retriever, RetrieverKind};
     pub use hermes_serve::{
-        ClosedLoopSpec, EngineBackend, GenerationBackend, GenerationCell, OpenLoopSpec,
-        Priority, Server, ServerConfig,
+        CachedBackend, ClosedLoopSpec, EngineBackend, GenerationBackend, GenerationCell,
+        OpenLoopSpec, Priority, Server, ServerConfig,
     };
     pub use hermes_sim::{
         Deployment, DvfsMode, MultiNodeSim, PipelinePolicy, RetrievalScheme, ServingConfig,

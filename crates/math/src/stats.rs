@@ -233,6 +233,35 @@ pub fn size_entropy(sizes: &[usize]) -> f64 {
         .sum()
 }
 
+/// Normalized Shannon entropy of a nonnegative weight vector: `0.0` when
+/// all mass sits on one weight, `1.0` for a uniform distribution (the raw
+/// entropy divided by `ln(len)`). Non-finite or nonpositive weights carry
+/// no mass; a vector with no mass at all returns `1.0` — "no information"
+/// reads as maximal uncertainty, which is the conservative answer for the
+/// routing-confidence estimator built on this ([`size_entropy`]'s f64
+/// sibling).
+pub fn normalized_entropy(weights: &[f64]) -> f64 {
+    if weights.len() < 2 {
+        return 0.0;
+    }
+    let total: f64 = weights
+        .iter()
+        .filter(|w| w.is_finite() && **w > 0.0)
+        .sum();
+    if total <= 0.0 {
+        return 1.0;
+    }
+    let h: f64 = weights
+        .iter()
+        .filter(|w| w.is_finite() && **w > 0.0)
+        .map(|&w| {
+            let p = w / total;
+            -p * p.ln()
+        })
+        .sum();
+    (h / (weights.len() as f64).ln()).clamp(0.0, 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,5 +385,27 @@ mod tests {
         let skewed = size_entropy(&[97, 1, 1, 1]);
         assert!(balanced > skewed);
         assert!((balanced - (4.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_entropy_spans_unit_interval() {
+        assert!((normalized_entropy(&[1.0, 1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(normalized_entropy(&[5.0, 0.0, 0.0]), 0.0);
+        let mid = normalized_entropy(&[8.0, 2.0, 1.0, 1.0]);
+        assert!(mid > 0.0 && mid < 1.0, "mid={mid}");
+    }
+
+    #[test]
+    fn normalized_entropy_degenerate_inputs() {
+        // Fewer than two weights carry no ranking uncertainty at all.
+        assert_eq!(normalized_entropy(&[]), 0.0);
+        assert_eq!(normalized_entropy(&[3.0]), 0.0);
+        // No usable mass (all zero / non-finite) reads as maximal
+        // uncertainty.
+        assert_eq!(normalized_entropy(&[0.0, 0.0]), 1.0);
+        assert_eq!(normalized_entropy(&[f64::NAN, f64::NEG_INFINITY]), 1.0);
+        // Non-finite entries are skipped, not propagated.
+        let h = normalized_entropy(&[1.0, f64::NAN, 1.0]);
+        assert!(h.is_finite());
     }
 }

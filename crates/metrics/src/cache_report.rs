@@ -1,0 +1,237 @@
+//! Cache-effectiveness and adaptive-depth accounting for reports.
+//!
+//! `hermes-cache` counts its own hits and misses; this module folds
+//! those plain numbers — metrics sits below the cache crate in the
+//! dependency graph, so callers pass integers, never cache types — into
+//! the derived rates and tables that `hermes stats` and the
+//! `ext_adaptive` bench print:
+//!
+//! * [`CacheEffect`] — hit/miss/stale/bypass counters with served-share
+//!   and hit-rate derivations.
+//! * [`DepthHistogram`] — how often the adaptive estimator chose each
+//!   retrieval depth (clusters searched), the visible footprint of the
+//!   difficulty signal.
+
+use crate::report::{fmt, Row, Table};
+
+/// Folded cache counters plus derived rates.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_metrics::CacheEffect;
+/// let eff = CacheEffect {
+///     exact_hits: 60,
+///     semantic_hits: 15,
+///     misses: 25,
+///     stale: 5,
+///     bypass: 0,
+///     evictions: 2,
+/// };
+/// assert_eq!(eff.lookups(), 100);
+/// assert_eq!(eff.hit_rate(), 0.75);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheEffect {
+    /// Bit-identical query matches served from the cache.
+    pub exact_hits: u64,
+    /// Near-duplicate matches served by the semantic layer.
+    pub semantic_hits: u64,
+    /// Lookups that fell through to computation.
+    pub misses: u64,
+    /// Entries dropped because their version stamp no longer matched.
+    pub stale: u64,
+    /// Queries that skipped the cache entirely.
+    pub bypass: u64,
+    /// Capacity evictions.
+    pub evictions: u64,
+}
+
+impl CacheEffect {
+    /// Hits of either kind.
+    pub fn hits(&self) -> u64 {
+        self.exact_hits + self.semantic_hits
+    }
+
+    /// Lookups that consulted the cache (bypasses excluded).
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (`0.0` when none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Fraction of hits that were semantic rather than exact.
+    pub fn semantic_share(&self) -> f64 {
+        if self.hits() == 0 {
+            0.0
+        } else {
+            self.semantic_hits as f64 / self.hits() as f64
+        }
+    }
+
+    /// Renders the counters as a two-column table.
+    pub fn table(&self, title: &str) -> Table {
+        let mut t = Table::new(title, &["counter", "value"]);
+        let mut push = |label: &str, v: String| t.push(Row::new(label, vec![v]));
+        push("exact hits", self.exact_hits.to_string());
+        push("semantic hits", self.semantic_hits.to_string());
+        push("misses", self.misses.to_string());
+        push("stale evictions", self.stale.to_string());
+        push("bypasses", self.bypass.to_string());
+        push("capacity evictions", self.evictions.to_string());
+        push("hit rate", fmt(self.hit_rate(), 3));
+        push("semantic share", fmt(self.semantic_share(), 3));
+        t
+    }
+}
+
+/// Histogram of adaptive depth choices (clusters searched per query).
+///
+/// # Examples
+///
+/// ```
+/// use hermes_metrics::DepthHistogram;
+/// let mut h = DepthHistogram::new();
+/// h.record(1);
+/// h.record(3);
+/// h.record(3);
+/// assert_eq!(h.queries(), 3);
+/// assert_eq!(h.count(3), 2);
+/// assert!((h.mean() - 7.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepthHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl DepthHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        DepthHistogram::default()
+    }
+
+    /// Folds in one query's chosen depth.
+    pub fn record(&mut self, depth: usize) {
+        if self.counts.len() <= depth {
+            self.counts.resize(depth + 1, 0);
+        }
+        self.counts[depth] += 1;
+        self.total += 1;
+    }
+
+    /// Queries recorded.
+    pub fn queries(&self) -> u64 {
+        self.total
+    }
+
+    /// Queries that chose exactly `depth`.
+    pub fn count(&self, depth: usize) -> u64 {
+        self.counts.get(depth).copied().unwrap_or(0)
+    }
+
+    /// Mean chosen depth (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| d as u64 * c)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Non-empty `(depth, count, share)` buckets in depth order.
+    pub fn buckets(&self) -> Vec<(usize, u64, f64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(d, &c)| (d, c, c as f64 / self.total as f64))
+            .collect()
+    }
+
+    /// Renders the histogram as a table with share bars.
+    pub fn table(&self, title: &str) -> Table {
+        let mut t = Table::new(title, &["depth", "queries", "share"]);
+        for (d, c, share) in self.buckets() {
+            t.push(Row::new(
+                format!("m={d}"),
+                vec![c.to_string(), fmt(share, 3)],
+            ));
+        }
+        t.push(Row::new(
+            "mean",
+            vec![String::new(), fmt(self.mean(), 2)],
+        ));
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_derive_from_counters() {
+        let eff = CacheEffect {
+            exact_hits: 30,
+            semantic_hits: 10,
+            misses: 60,
+            stale: 3,
+            bypass: 7,
+            evictions: 1,
+        };
+        assert_eq!(eff.hits(), 40);
+        assert_eq!(eff.lookups(), 100);
+        assert_eq!(eff.hit_rate(), 0.4);
+        assert_eq!(eff.semantic_share(), 0.25);
+    }
+
+    #[test]
+    fn empty_effect_has_zero_rates() {
+        let eff = CacheEffect::default();
+        assert_eq!(eff.hit_rate(), 0.0);
+        assert_eq!(eff.semantic_share(), 0.0);
+        let rendered = eff.table("cache").render();
+        assert!(rendered.contains("hit rate"));
+    }
+
+    #[test]
+    fn histogram_counts_and_buckets() {
+        let mut h = DepthHistogram::new();
+        for d in [1, 1, 2, 3, 3, 3] {
+            h.record(d);
+        }
+        assert_eq!(h.queries(), 6);
+        assert_eq!(h.count(0), 0);
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.buckets(), vec![
+            (1, 2, 2.0 / 6.0),
+            (2, 1, 1.0 / 6.0),
+            (3, 3, 3.0 / 6.0),
+        ]);
+        assert!((h.mean() - 13.0 / 6.0).abs() < 1e-12);
+        let rendered = h.table("adaptive depth").render();
+        assert!(rendered.contains("m=3"));
+        assert!(rendered.contains("mean"));
+    }
+
+    #[test]
+    fn empty_histogram_renders() {
+        let h = DepthHistogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.buckets().is_empty());
+        let _ = h.table("adaptive depth").render();
+    }
+}

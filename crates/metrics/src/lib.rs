@@ -9,12 +9,15 @@
 //!   measurements, plus throughput helpers.
 //! * [`cost`] — scanned-code accounting split by execution-engine stage
 //!   (route vs deep), folded over a query stream.
+//! * [`cache_report`] — cache hit/miss/stale/bypass roll-ups and the
+//!   adaptive-depth histogram printed by `hermes stats`.
 //! * [`report`] — ASCII tables and series used by every bench binary to
 //!   print paper-vs-measured rows.
 //! * [`trace_report`] — folds a `hermes-trace` snapshot into those same
 //!   tables (span latency percentiles, counter roll-ups): the renderer
 //!   behind `hermes stats`.
 
+pub mod cache_report;
 pub mod cost;
 pub mod energy;
 pub mod ranking;
@@ -22,6 +25,7 @@ pub mod report;
 pub mod trace_report;
 pub mod truth;
 
+pub use cache_report::{CacheEffect, DepthHistogram};
 pub use cost::CostBreakdown;
 pub use energy::{EnergyMeter, StageEnergy};
 pub use ranking::{ndcg_at_k, overlap_at_k, recall_at_k};

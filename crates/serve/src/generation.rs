@@ -36,14 +36,16 @@ use crate::server::{Backend, BatchOutcome};
 pub struct GenerationCell {
     store: RwLock<Arc<ClusteredStore>>,
     epoch: AtomicU64,
+    version: AtomicU64,
 }
 
 impl GenerationCell {
-    /// Wraps `store` as epoch 0.
+    /// Wraps `store` as epoch 0, version 0.
     pub fn new(store: ClusteredStore) -> Self {
         GenerationCell {
             store: RwLock::new(Arc::new(store)),
             epoch: AtomicU64::new(0),
+            version: AtomicU64::new(0),
         }
     }
 
@@ -64,6 +66,17 @@ impl GenerationCell {
         self.current().generation()
     }
 
+    /// Content-version counter: bumped by **every** mutation of the
+    /// published store — [`Self::swap`] *and* [`Self::mutate`] — unlike
+    /// [`Self::epoch`] (swaps only) or the store's own `generation()`
+    /// (rebalances only; plain inserts/removes leave it unchanged). This
+    /// is the invalidation stamp the semantic cache keys on: any result
+    /// computed at version *v* is untrustworthy at any other version, so
+    /// churn can never serve a pre-mutation cache entry.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
     /// Publishes `next` and returns the displaced snapshot. In-flight
     /// readers holding the old `Arc` finish on the old generation;
     /// every subsequent [`Self::current`] sees `next`.
@@ -71,6 +84,7 @@ impl GenerationCell {
         let mut slot = self.store.write().expect("generation cell poisoned");
         let old = std::mem::replace(&mut *slot, Arc::new(next));
         self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.version.fetch_add(1, Ordering::AcqRel);
         old
     }
 
@@ -81,7 +95,9 @@ impl GenerationCell {
     pub fn mutate<T>(&self, f: impl FnOnce(&mut ClusteredStore) -> T) -> T {
         let mut slot = self.store.write().expect("generation cell poisoned");
         let store = Arc::make_mut(&mut *slot);
-        f(store)
+        let out = f(store);
+        self.version.fetch_add(1, Ordering::AcqRel);
+        out
     }
 }
 

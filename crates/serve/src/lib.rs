@@ -29,6 +29,7 @@
 //! (`tests/serving_oracle.rs`).
 
 pub mod batch;
+pub mod cache;
 pub mod generation;
 pub mod loadgen;
 pub mod queue;
@@ -36,6 +37,7 @@ pub mod request;
 pub mod server;
 
 pub use batch::{coalesce_groups, BatchPlan};
+pub use cache::CachedBackend;
 pub use generation::{GenerationBackend, GenerationCell};
 pub use loadgen::{run_closed_loop, run_open_loop, ClosedLoopSpec, LoadReport, OpenLoopSpec};
 pub use queue::AdmissionQueue;

@@ -104,3 +104,24 @@ rm -rf "${store_out}"
 # opened reader agrees with the live store on metadata.
 echo "== ext_persist smoke (release) =="
 HERMES_SMOKE=1 cargo run -p hermes-bench --release --offline --quiet --bin ext_persist
+
+# Adaptive-depth + semantic-cache smoke: the bench asserts (a) a pinned
+# adaptive policy is bit-identical to the fixed-knob engine per query,
+# (b) an exact-only cached run serves every completion bit-identical to
+# recomputation, (c) semantic-run divergence is bounded by the
+# semantic-hit counter, and (d) the repeated-query workload clears a 30%
+# hit rate. Smoke mode leaves bench_results/ untouched.
+echo "== ext_adaptive smoke (release) =="
+HERMES_SMOKE=1 cargo run -p hermes-bench --release --offline --quiet --bin ext_adaptive
+
+# The same contracts through the CLI, cache/adaptive on and off: `stats
+# --cache/--adaptive` replays a Zipf-repeated stream and errors out
+# unless completions match standalone execution (up to accounted
+# semantic hits). Width 1 pins the inline dispatch path.
+echo "== hermes stats cache/adaptive smoke (release) =="
+cargo run -p hermes --release --offline --quiet --bin hermes -- \
+    stats --cache --adaptive --docs 4000 --dim 32 --clusters 6 --queries 12 --requests 120
+HERMES_THREADS=1 cargo run -p hermes --release --offline --quiet --bin hermes -- \
+    stats --adaptive --docs 4000 --dim 32 --clusters 6 --queries 12 --requests 60
+HERMES_THREADS=1 cargo run -p hermes --release --offline --quiet --bin hermes -- \
+    stats --cache --docs 4000 --dim 32 --clusters 6 --queries 12 --requests 60

@@ -283,7 +283,7 @@ impl<T: Clone> SemanticCache<T> {
             return None;
         }
         self.stats.exact_hits += 1;
-        hermes_trace::counter("cache.hit_exact", 1);
+        hermes_trace::counter(hermes_trace::names::CACHE_HIT_EXACT, 1);
         self.slots[i].as_ref().map(|e| &e.payload)
     }
 
@@ -333,7 +333,7 @@ impl<T: Clone> SemanticCache<T> {
         match best {
             Some((i, similarity)) => {
                 self.stats.semantic_hits += 1;
-                hermes_trace::counter("cache.hit_semantic", 1);
+                hermes_trace::counter(hermes_trace::names::CACHE_HIT_SEMANTIC, 1);
                 let entry = self.slots[i].as_ref().expect("hit slot is occupied");
                 Some(SemanticHit {
                     payload: entry.payload.clone(),
@@ -352,13 +352,13 @@ impl<T: Clone> SemanticCache<T> {
     /// (when the semantic layer was skipped entirely).
     pub fn note_miss(&mut self) {
         self.stats.misses += 1;
-        hermes_trace::counter("cache.miss", 1);
+        hermes_trace::counter(hermes_trace::names::CACHE_MISS, 1);
     }
 
     /// Records a request that never consulted the cache.
     pub fn note_bypass(&mut self) {
         self.stats.bypass += 1;
-        hermes_trace::counter("cache.bypass", 1);
+        hermes_trace::counter(hermes_trace::names::CACHE_BYPASS, 1);
     }
 
     /// Inserts (or refreshes) the result for `query`, computed at store
@@ -449,10 +449,10 @@ impl<T: Clone> SemanticCache<T> {
         self.free.push(i);
         if stale {
             self.stats.stale += 1;
-            hermes_trace::counter("cache.stale", 1);
+            hermes_trace::counter(hermes_trace::names::CACHE_STALE, 1);
         } else {
             self.stats.evictions += 1;
-            hermes_trace::counter("cache.evict", 1);
+            hermes_trace::counter(hermes_trace::names::CACHE_EVICT, 1);
         }
     }
 

@@ -55,6 +55,7 @@
 //! every site is a single relaxed atomic load.
 
 use hermes_index::{ScanStats, SearchParams, VectorIndex};
+use hermes_trace::names;
 use hermes_math::{topk::merge_topk, Neighbor};
 
 use crate::adaptive::{AdaptiveConfig, DifficultyEstimator};
@@ -120,6 +121,11 @@ pub struct QueryPlan {
     /// without scores — [`Routing::Unranked`] — still use the fixed
     /// knobs).
     pub adaptive: Option<AdaptiveConfig>,
+    /// Serving-layer request id this plan executes on behalf of, if any.
+    /// Purely observational: when set, the engine's `engine.execute`
+    /// spans carry it as a `request_id` arg so trace events fold into
+    /// per-request timelines — execution is bit-identical either way.
+    pub request_id: Option<u64>,
 }
 
 impl QueryPlan {
@@ -134,6 +140,7 @@ impl QueryPlan {
             k: cfg.k,
             scatter_threads: 0,
             adaptive: cfg.adaptive,
+            request_id: None,
         }
     }
 
@@ -158,6 +165,13 @@ impl QueryPlan {
     /// Sets (or clears) the per-query adaptive-depth policy.
     pub fn with_adaptive(mut self, adaptive: Option<AdaptiveConfig>) -> Self {
         self.adaptive = adaptive;
+        self
+    }
+
+    /// Tags the plan with the serving-layer request id its spans should
+    /// carry (see [`QueryPlan::request_id`]).
+    pub fn with_request_id(mut self, id: u64) -> Self {
+        self.request_id = Some(id);
         self
     }
 }
@@ -257,7 +271,7 @@ impl<'s> Engine<'s> {
     ///
     /// Propagates the first shard error in cluster order.
     pub fn route(&self, query: &[f32]) -> Result<RouteOutcome, HermesError> {
-        let mut sp = hermes_trace::span("engine.route");
+        let mut sp = hermes_trace::span(names::ENGINE_ROUTE);
         let out = self.route_stage(query)?;
         sp.arg("scanned_codes", out.cost.scanned_codes as u64);
         sp.arg("clusters", out.cost.clusters_touched as u64);
@@ -275,7 +289,7 @@ impl<'s> Engine<'s> {
                 // when m is small).
                 let clusters: Vec<usize> = (0..n).collect();
                 let samples = self.fan_out(&clusters, |c| {
-                    let mut sp = hermes_trace::span_with("shard.sample", &[("cluster", c as u64)]);
+                    let mut sp = hermes_trace::span_with(names::SHARD_SAMPLE, &[("cluster", c as u64)]);
                     let (hits, stats) = store.shard(c).search_with_stats(query, 1, &params)?;
                     sp.arg("scanned_codes", stats.scanned_codes as u64);
                     Ok((hits.first().map_or(f32::NEG_INFINITY, |h| h.score), stats))
@@ -333,9 +347,9 @@ impl<'s> Engine<'s> {
     ) -> Result<Vec<(Vec<Neighbor>, ScanStats)>, HermesError> {
         let params = SearchParams::new().with_nprobe(deep_nprobe);
         let k = self.plan.k;
-        let mut sp = hermes_trace::span_with("engine.scatter", &[("shards", shards.len() as u64)]);
+        let mut sp = hermes_trace::span_with(names::ENGINE_SCATTER, &[("shards", shards.len() as u64)]);
         let per_shard = self.fan_out(shards, |c| {
-            let mut sp = hermes_trace::span_with("shard.deep", &[("cluster", c as u64)]);
+            let mut sp = hermes_trace::span_with(names::SHARD_DEEP, &[("cluster", c as u64)]);
             let (hits, stats) = self.store.shard(c).search_with_stats(query, k, &params)?;
             sp.arg("scanned_codes", stats.scanned_codes as u64);
             Ok((hits, stats))
@@ -377,7 +391,10 @@ impl<'s> Engine<'s> {
     /// Propagates the first shard error in stage order (route before
     /// scatter) and cluster order within a stage.
     pub fn execute(&self, query: &[f32]) -> Result<SearchOutcome, HermesError> {
-        let mut query_span = hermes_trace::span("engine.execute");
+        let mut query_span = hermes_trace::span(names::ENGINE_EXECUTE);
+        if let Some(rid) = self.plan.request_id {
+            query_span.arg(names::ARG_REQUEST_ID, rid);
+        }
         let route = self.route(query)?;
         let outcome = self.scatter_gather(query, route)?;
         query_span.arg("route_scanned", outcome.stats.route.scanned_codes as u64);
@@ -399,7 +416,10 @@ impl<'s> Engine<'s> {
         query: &[f32],
         route: RouteOutcome,
     ) -> Result<SearchOutcome, HermesError> {
-        let mut query_span = hermes_trace::span("engine.execute");
+        let mut query_span = hermes_trace::span(names::ENGINE_EXECUTE);
+        if let Some(rid) = self.plan.request_id {
+            query_span.arg(names::ARG_REQUEST_ID, rid);
+        }
         let outcome = self.scatter_gather(query, route)?;
         query_span.arg("route_scanned", outcome.stats.route.scanned_codes as u64);
         query_span.arg("deep_scanned", outcome.stats.deep.scanned_codes as u64);
@@ -554,7 +574,7 @@ impl<'s> Engine<'s> {
         cap: usize,
     ) -> Result<Vec<SearchOutcome>, HermesError> {
         let mut batch_span =
-            hermes_trace::span_with("engine.coalesced", &[("queries", queries.len() as u64)]);
+            hermes_trace::span_with(names::ENGINE_COALESCED, &[("queries", queries.len() as u64)]);
         // Per-query depth (m, deep nProbe): fixed knobs or the adaptive
         // policy's per-route choice — resolved once, then honored by both
         // the group scatter and the per-query gather below.
@@ -596,7 +616,7 @@ impl<'s> Engine<'s> {
         type DeepResult = Result<(Vec<Neighbor>, ScanStats), HermesError>;
         let k = self.plan.k;
         let run_group = |&(c, ref qis): &(usize, Vec<usize>)| -> Result<Vec<DeepResult>, HermesError> {
-            let mut sp = hermes_trace::span_with("shard.deep", &[("cluster", c as u64)]);
+            let mut sp = hermes_trace::span_with(names::SHARD_DEEP, &[("cluster", c as u64)]);
             let mut scanned = 0u64;
             let results = qis
                 .iter()
@@ -670,7 +690,7 @@ impl<'s> Engine<'s> {
         per_shard: Vec<(Vec<Neighbor>, ScanStats)>,
         deep_nprobe: usize,
     ) -> SearchOutcome {
-        let mut gather_span = hermes_trace::span("engine.gather");
+        let mut gather_span = hermes_trace::span(names::ENGINE_GATHER);
         let per_cluster_hits: Vec<Vec<Neighbor>> =
             per_shard.iter().map(|(hits, _)| hits.clone()).collect();
         let hits = merge_topk(&per_cluster_hits, self.plan.k);

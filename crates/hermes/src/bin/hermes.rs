@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&opts),
         "serve" => cmd_serve(&opts),
         "loadgen" => cmd_loadgen(&opts),
+        "report" => cmd_report(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -79,11 +80,16 @@ USAGE:
                 [--threads T]
   hermes stats  [--docs N] [--dim D] [--topics T] [--clusters C]
                 [--deep M] [--queries Q] [--seed S] [--threads T]
-                [--cache] [--adaptive] [--requests R]
+                [--cache] [--adaptive] [--slo] [--requests R]
   hermes serve  [--docs N] [--dim D] [--topics T] [--clusters C]
                 [--deep M] [--queries Q] [--seed S] [--threads T]
                 [--requests R] [--qps RATE] [--capacity C]
-                [--max-batch B] [--slo-us US]
+                [--max-batch B] [--slo-us US] [--metrics-path FILE]
+  hermes report [--docs N] [--dim D] [--topics T] [--clusters C]
+                [--deep M] [--queries Q] [--seed S] [--threads T]
+                [--requests R] [--qps RATE] [--capacity C]
+                [--max-batch B] [--slo-us US] [--metrics-path FILE]
+                [--recorder-path FILE]
   hermes loadgen [--docs N] [--dim D] [--topics T] [--clusters C]
                 [--deep M] [--queries Q] [--seed S] [--threads T]
                 [--requests R] [--qps RATE] [--users U] [--think-us US]
@@ -96,8 +102,18 @@ runs per-query adaptive retrieval depth and prints the chosen-depth
 histogram (the flags compose). Both verify served results against
 standalone engine execution before reporting.
 
+`stats --slo` attaches a per-request observer to an open-loop serving
+session and prints deadline hit/miss, shed/expired counts and the SLO
+burn rate per class. `report` is the full observability roll-up: the
+same observed session rendered as a tail-latency phase-attribution
+table, the SLO table, the flight-recorder dump of the slowest
+requests, and a Prometheus-style text exposition (re-parsed before it
+is written, so it doubles as the verify.sh obs smoke test). On both,
+`--metrics-path`/`--recorder-path` write the artifacts to files.
+
 `serve` runs one open-loop serving session and reports per-class
-latency; `loadgen` drives closed and open loops and asserts every
+latency (`--metrics-path` also writes the exposition); `loadgen`
+drives closed and open loops and asserts every
 served result bit-identical to standalone engine execution (--smoke
 shrinks the workload for CI). `loadgen --churn` instead mutates the
 store (inserts/removes) while serving and rebalances it live through
@@ -113,7 +129,7 @@ capacity 64, max-batch 8, no SLO.";
 type Flags = HashMap<String, String>;
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["smoke", "churn", "cache", "adaptive"];
+const BOOL_FLAGS: &[&str] = &["smoke", "churn", "cache", "adaptive", "slo"];
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut out = Flags::new();
@@ -377,6 +393,9 @@ fn cmd_stats(opts: &Flags) -> Result<(), String> {
     if use_cache || use_adaptive {
         return cmd_stats_cached(opts, use_cache, use_adaptive);
     }
+    if get_bool(opts, "slo") {
+        return cmd_stats_slo(opts);
+    }
     let snap = run_traced_workload(opts)?;
     let summary = hermes::metrics::trace_report::render_summary(&snap)
         .map_err(|e| format!("unbalanced trace: {e}"))?;
@@ -591,11 +610,17 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
         "serving open-loop: {} requests at {} qps (queue {}, max batch {})",
         setup.requests, qps, setup.server_cfg.queue_capacity, setup.server_cfg.max_batch
     );
+    let metrics_path = opts.get("metrics-path");
     let engine = Engine::for_store(&setup.store);
     let mut server = hermes::serve::Server::new(
         hermes::serve::EngineBackend::new(engine, setup.threads),
         setup.server_cfg,
     );
+    if metrics_path.is_some() {
+        server = server.with_observer(Observer::new(
+            hermes::serve::obs_config(setup.seed).with_slo(slo_policy(setup.slo_ns)),
+        ));
+    }
     let mut spec = hermes::serve::OpenLoopSpec::new(setup.requests, qps)
         .with_seed(setup.seed.wrapping_add(11))
         .with_priority_cycle(priority_mix());
@@ -605,6 +630,178 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
     let load = hermes::serve::run_open_loop(&mut server, &setup.queries, &spec)
         .map_err(|e| e.to_string())?;
     print_serve_report("open loop", &load.serve);
+    if let Some(path) = metrics_path {
+        let obs = server
+            .take_observer()
+            .ok_or("observer vanished during the run")?;
+        write_exposition(path, &obs, &load.serve)?;
+    }
+    Ok(())
+}
+
+/// Deadline targets the observed subcommands fall back to when
+/// `--slo-us` is not given: 50 ms interactive, 500 ms standard,
+/// best-effort batch. An explicit `--slo-us` applies to interactive
+/// and standard alike, matching the deadline the loadgen spec stamps
+/// on every request.
+fn slo_policy(slo_ns: Option<u64>) -> SloPolicy {
+    match slo_ns {
+        Some(t) => SloPolicy::new(vec![Some(t), Some(t), None]),
+        None => SloPolicy::new(vec![Some(50_000_000), Some(500_000_000), None]),
+    }
+}
+
+/// Folds observer + serve-report state into one registry, re-parses the
+/// rendered exposition (shape, histogram monotonicity), and writes it.
+fn write_exposition(
+    path: &str,
+    obs: &Observer,
+    report: &hermes::serve::ServeReport,
+) -> Result<(), String> {
+    let mut reg = MetricsRegistry::new();
+    obs.export(&mut reg);
+    hermes::serve::export_serve_report(&mut reg, report);
+    let text = reg.render_text();
+    let parsed = hermes::obs::parse_text(&text)
+        .map_err(|e| format!("exposition failed to re-parse: {e}"))?;
+    std::fs::write(path, &text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    println!(
+        "wrote {path}: {} metrics, {} samples (re-parsed clean)",
+        parsed.metrics, parsed.samples
+    );
+    Ok(())
+}
+
+/// One open-loop session with a request observer attached, every served
+/// outcome verified bit-identical to standalone engine execution and
+/// every timeline checked for phase balance.
+struct ObservedRun {
+    load: hermes::serve::LoadReport,
+    obs: Observer,
+}
+
+fn run_observed_open_loop(opts: &Flags, setup: &ServeSetup) -> Result<ObservedRun, String> {
+    let qps = get_f64(opts, "qps", 500.0)?;
+    if qps <= 0.0 {
+        return Err("--qps must be positive".into());
+    }
+    let engine = Engine::for_store(&setup.store);
+    let mut server = hermes::serve::Server::new(
+        hermes::serve::EngineBackend::new(engine, setup.threads),
+        setup.server_cfg,
+    )
+    .with_observer(Observer::new(
+        hermes::serve::obs_config(setup.seed)
+            .with_slo(slo_policy(setup.slo_ns))
+            .with_recorder(64, 64),
+    ));
+    let mut spec = hermes::serve::OpenLoopSpec::new(setup.requests, qps)
+        .with_seed(setup.seed.wrapping_add(11))
+        .with_priority_cycle(priority_mix());
+    if let Some(slo) = setup.slo_ns {
+        spec = spec.with_slo_ns(slo);
+    }
+    let load = hermes::serve::run_open_loop(&mut server, &setup.queries, &spec)
+        .map_err(|e| e.to_string())?;
+    let obs = server
+        .take_observer()
+        .ok_or("observer vanished during the run")?;
+    for c in &load.completions {
+        let standalone = engine.execute(&c.request.query).map_err(|e| e.to_string())?;
+        if c.outcome.as_ref() != Some(&standalone) {
+            return Err(format!(
+                "request {} diverged from standalone engine execution under observation",
+                c.request.id
+            ));
+        }
+    }
+    if obs.unbalanced() > 0 {
+        return Err(format!(
+            "{} request timelines violated phase balance",
+            obs.unbalanced()
+        ));
+    }
+    Ok(ObservedRun { load, obs })
+}
+
+/// `stats --slo`: one observed open-loop session reported as per-class
+/// SLO accounting — deadline hit/miss, shed/expired and burn rate.
+fn cmd_stats_slo(opts: &Flags) -> Result<(), String> {
+    let setup = build_serve_setup(opts)?;
+    println!(
+        "slo accounting over an observed open loop: {} requests (queue {}, max batch {})",
+        setup.requests, setup.server_cfg.queue_capacity, setup.server_cfg.max_batch
+    );
+    let run = run_observed_open_loop(opts, &setup)?;
+    print_serve_report("open loop", &run.load.serve);
+    print!("{}", hermes::metrics::slo_table(run.obs.slo()).render());
+    println!(
+        "verified {} served results against standalone execution; all timelines balanced",
+        run.load.completions.len()
+    );
+    Ok(())
+}
+
+/// `report`: the end-to-end observability roll-up for one observed
+/// open-loop session — tail-latency phase attribution, SLO accounting,
+/// the flight recorder's slowest requests, and the text exposition —
+/// each artifact re-parsed before it is printed or written.
+fn cmd_report(opts: &Flags) -> Result<(), String> {
+    let setup = build_serve_setup(opts)?;
+    println!(
+        "observability report: {} requests over a {}-query pool (queue {}, max batch {})",
+        setup.requests,
+        setup.queries.len(),
+        setup.server_cfg.queue_capacity,
+        setup.server_cfg.max_batch
+    );
+    let run = run_observed_open_loop(opts, &setup)?;
+    print_serve_report("open loop", &run.load.serve);
+    print!(
+        "{}",
+        hermes::metrics::phase_breakdown_table(run.obs.attribution()).render()
+    );
+    print!("{}", hermes::metrics::slo_table(run.obs.slo()).render());
+
+    // Flight dump: the parser re-checks every record's balance invariant.
+    let dump = run.obs.recorder().render_dump();
+    let summary = hermes::obs::parse_dump(&dump)
+        .map_err(|e| format!("flight dump failed to re-parse: {e}"))?;
+    if summary.unbalanced > 0 {
+        return Err(format!(
+            "{} flight records violate phase balance",
+            summary.unbalanced
+        ));
+    }
+    match opts.get("recorder-path") {
+        Some(path) => {
+            std::fs::write(path, &dump).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!(
+                "wrote {path}: {} flight records over {} requests (re-parsed clean)",
+                summary.records, summary.seen
+            );
+        }
+        None => print!("{dump}"),
+    }
+
+    match opts.get("metrics-path") {
+        Some(path) => write_exposition(path, &run.obs, &run.load.serve)?,
+        None => {
+            let mut reg = MetricsRegistry::new();
+            run.obs.export(&mut reg);
+            hermes::serve::export_serve_report(&mut reg, &run.load.serve);
+            let parsed = hermes::obs::parse_text(&reg.render_text())
+                .map_err(|e| format!("exposition failed to re-parse: {e}"))?;
+            println!(
+                "exposition: {} metrics, {} samples (pass --metrics-path to write it)",
+                parsed.metrics, parsed.samples
+            );
+        }
+    }
+    println!(
+        "verified {} served results against standalone execution; all timelines balanced",
+        run.load.completions.len()
+    );
     Ok(())
 }
 

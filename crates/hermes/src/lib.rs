@@ -17,6 +17,7 @@
 //! | [`perfmodel`] | `hermes-perfmodel` | calibrated CPU/GPU/LLM cost models |
 //! | [`sim`] | `hermes-sim` | multi-node serving simulator |
 //! | [`metrics`] | `hermes-metrics` | NDCG/recall, energy accounting, reports |
+//! | [`obs`] | `hermes-obs` | per-request timelines, tail attribution, SLO burn, metrics exposition |
 //! | [`trace`] | `hermes-trace` | runtime telemetry: spans, counters, Chrome trace export |
 //! | [`math`] | `hermes-math` | distances, top-k, matrices, stats, RNG |
 //!
@@ -47,6 +48,7 @@ pub use hermes_index as index;
 pub use hermes_kmeans as kmeans;
 pub use hermes_math as math;
 pub use hermes_metrics as metrics;
+pub use hermes_obs as obs;
 pub use hermes_perfmodel as perfmodel;
 pub use hermes_pool as pool;
 pub use hermes_quant as quant;
@@ -77,6 +79,10 @@ pub mod prelude {
     pub use hermes_perfmodel::{
         ClusterPlanner, CpuPlatform, EncoderModel, GpuPlatform, InferenceModel, LlmModel,
         RetrievalModel,
+    };
+    pub use hermes_obs::{
+        Attribution, FlightRecorder, MetricsRegistry, ObsConfig, Observer, RequestTimeline,
+        SloPolicy, SloTracker,
     };
     pub use hermes_quant::{Codec, CodecSpec};
     pub use hermes_rag::{HashEncoder, RagPipeline, Retriever, RetrieverKind};

@@ -216,7 +216,7 @@ pub trait VectorIndex: Send + Sync {
     ) -> Result<Vec<Neighbor>, IndexError> {
         let (hits, stats) = self.search_with_stats(query, k, params)?;
         if hermes_trace::is_enabled() {
-            hermes_trace::counter("index.scanned_codes", stats.scanned_codes as u64);
+            hermes_trace::counter(hermes_trace::names::INDEX_SCANNED_CODES, stats.scanned_codes as u64);
         }
         Ok(hits)
     }

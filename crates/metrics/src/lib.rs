@@ -11,6 +11,8 @@
 //!   (route vs deep), folded over a query stream.
 //! * [`cache_report`] — cache hit/miss/stale/bypass roll-ups and the
 //!   adaptive-depth histogram printed by `hermes stats`.
+//! * [`obs_report`] — tail-latency attribution and SLO burn tables over
+//!   `hermes-obs` state: the renderer behind `hermes report`.
 //! * [`report`] — ASCII tables and series used by every bench binary to
 //!   print paper-vs-measured rows.
 //! * [`trace_report`] — folds a `hermes-trace` snapshot into those same
@@ -20,12 +22,14 @@
 pub mod cache_report;
 pub mod cost;
 pub mod energy;
+pub mod obs_report;
 pub mod ranking;
 pub mod report;
 pub mod trace_report;
 pub mod truth;
 
 pub use cache_report::{CacheEffect, DepthHistogram};
+pub use obs_report::{phase_breakdown_table, slo_table};
 pub use cost::CostBreakdown;
 pub use energy::{EnergyMeter, StageEnergy};
 pub use ranking::{ndcg_at_k, overlap_at_k, recall_at_k};

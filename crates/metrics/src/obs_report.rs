@@ -1,0 +1,145 @@
+//! Renders `hermes-obs` state — tail-latency attribution and SLO burn
+//! accounting — as the ASCII tables `hermes report` and `hermes stats
+//! --slo` print.
+//!
+//! The numbers come straight from [`Attribution`] / [`SloTracker`]
+//! accessors; this module only formats. Both tables are deterministic
+//! for a seeded run because everything upstream is.
+
+use hermes_obs::{Attribution, Phase, SloTracker};
+
+use crate::report::{fmt, Row, Table};
+
+/// Quantiles the attribution table reports, tail-first importance order.
+pub const REPORT_QUANTILES: [f64; 3] = [0.50, 0.95, 0.99];
+
+/// One row per `class × quantile`: the phase breakdown of the requests
+/// in that quantile's sojourn bucket, plus the attribution verdict
+/// (which phase dominates). Classes without traffic are skipped.
+pub fn phase_breakdown_table(attr: &Attribution) -> Table {
+    let mut t = Table::new(
+        "tail-latency attribution (mean ns per phase in the quantile's sojourn bucket)",
+        &[
+            "class",
+            "q",
+            "sojourn>=ns",
+            "n",
+            "queue_wait",
+            "cache_probe",
+            "route",
+            "deep",
+            "residual",
+            "dominant",
+        ],
+    );
+    for class in attr.classes() {
+        if class.count() == 0 {
+            continue;
+        }
+        for q in REPORT_QUANTILES {
+            let Some(b) = class.breakdown_at(q) else {
+                continue;
+            };
+            let mut cells = vec![
+                format!("p{:02.0}", q * 100.0),
+                b.sojourn_floor_ns.to_string(),
+                b.count.to_string(),
+            ];
+            cells.extend(
+                Phase::ALL
+                    .iter()
+                    .map(|p| fmt(b.mean_phase_ns[p.index()], 0)),
+            );
+            cells.push(b.dominant_phase().label().to_string());
+            t.push(Row::new(class.label(), cells));
+        }
+    }
+    t
+}
+
+/// One row per class: lifetime SLO counters, lifetime bad fraction, and
+/// the burn rate over the tracker's sliding window.
+pub fn slo_table(slo: &SloTracker) -> Table {
+    let mut t = Table::new(
+        "slo accounting",
+        &[
+            "class", "target_ns", "served", "hit", "miss", "shed", "expired", "stale",
+            "bad_frac", "burn",
+        ],
+    );
+    for (i, class) in slo.classes().iter().enumerate() {
+        let c = class.counters();
+        t.push(Row::new(
+            class.label(),
+            vec![
+                class
+                    .target_ns()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".to_string()),
+                c.served.to_string(),
+                c.deadline_hit.to_string(),
+                c.deadline_miss.to_string(),
+                c.shed_queue_full.to_string(),
+                c.expired.to_string(),
+                c.served_stale.to_string(),
+                fmt(c.bad_fraction(), 4),
+                fmt(slo.burn_rate(i), 2),
+            ],
+        ));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_obs::{CachePath, PhaseNs, RequestId, RequestTimeline, ShedCause, SloPolicy};
+
+    fn timeline(class: usize, arrival: u64, start: u64, finish: u64) -> RequestTimeline {
+        let mut svc = PhaseNs::new();
+        svc.add(Phase::Deep, finish.saturating_sub(start));
+        RequestTimeline::from_dispatch(
+            RequestId(1),
+            1,
+            class,
+            ["interactive", "standard", "batch"][class],
+            arrival,
+            start,
+            finish,
+            1,
+            &svc,
+            CachePath::Computed,
+            None,
+        )
+    }
+
+    #[test]
+    fn attribution_table_renders_per_class_quantiles() {
+        let mut attr = Attribution::new(&["interactive", "standard", "batch"]);
+        for i in 0..50u64 {
+            let slow = if i % 10 == 0 { 4_000 } else { 100 };
+            attr.record(&timeline(0, i * 7, i * 7 + 10, i * 7 + 10 + slow));
+        }
+        let rendered = phase_breakdown_table(&attr).render();
+        assert!(rendered.contains("interactive"));
+        assert!(rendered.contains("p50"));
+        assert!(rendered.contains("p99"));
+        assert!(rendered.contains("deep"));
+        assert!(!rendered.contains("standard"), "idle classes are skipped");
+    }
+
+    #[test]
+    fn slo_table_renders_counters_and_burn() {
+        let mut slo = SloTracker::new(
+            &["interactive", "standard", "batch"],
+            SloPolicy::new(vec![Some(500), Some(5_000), None]).with_budget(0.1),
+        );
+        slo.on_completion(&timeline(0, 0, 10, 100));
+        slo.on_completion(&timeline(0, 0, 10, 2_000));
+        slo.on_shed(1, 50, ShedCause::QueueFull);
+        let rendered = slo_table(&slo).render();
+        assert!(rendered.contains("interactive"));
+        assert!(rendered.contains("batch"));
+        assert!(rendered.contains('-'), "no-target classes show a dash");
+    }
+}

@@ -1,0 +1,469 @@
+//! Pull-based metrics registry with a deterministic Prometheus-style
+//! text exposition.
+//!
+//! Producers *set* current values (counters, gauges, histograms) under
+//! dotted names from [`hermes_trace::names`]; [`render_text`] emits the
+//! classic `# HELP` / `# TYPE` / sample-line format. Everything is
+//! stored in `BTreeMap`s and rendered in sorted order with exact
+//! integer bucket bounds, so the same state always renders the same
+//! bytes — the exposition is diffable and snapshot-testable, which is
+//! how `scripts/verify.sh` checks it.
+//!
+//! [`parse_text`] reads an exposition back and validates its shape
+//! (`TYPE` before samples, cumulative histogram buckets monotone and
+//! consistent with `_count`), closing the round trip.
+//!
+//! [`render_text`]: MetricsRegistry::render_text
+
+use std::collections::BTreeMap;
+
+use hermes_trace::hist::LogHistogram;
+use hermes_trace::names;
+use hermes_trace::TraceSnapshot;
+
+/// What a metric is, for the `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn label(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One sample value.
+#[derive(Debug, Clone)]
+enum Sample {
+    Int(u64),
+    Float(f64),
+    /// `(bucket counts, count, sum)` copied out of a [`LogHistogram`].
+    Hist(Box<([u64; hermes_trace::hist::BUCKETS], u64, u64)>),
+}
+
+#[derive(Debug, Clone)]
+struct Metric {
+    help: String,
+    kind: MetricKind,
+    /// Rendered label block (`""` or `{k="v",…}`) → sample.
+    samples: BTreeMap<String, Sample>,
+}
+
+/// Converts a dotted telemetry name (`cache.hit_exact`) to the exported
+/// metric name (`hermes_cache_hit_exact`).
+pub fn metric_name(dotted: &str) -> String {
+    format!("hermes_{}", dotted.replace(['.', '-'], "_"))
+}
+
+/// Renders a label set as a deterministic `{k="v",…}` block (keys
+/// sorted; empty slice renders as the empty string).
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort_unstable();
+    let body: Vec<String> = sorted
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Inclusive upper bound of log2 bucket `i` (`[2^i, 2^(i+1))`), as the
+/// exact integer Prometheus `le` value.
+fn bucket_le(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+/// The registry: a set of named metrics with current values, rendered on
+/// demand. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn entry(&mut self, dotted: &str, help: &str, kind: MetricKind) -> &mut Metric {
+        let name = metric_name(dotted);
+        let metric = self.metrics.entry(name).or_insert_with(|| Metric {
+            help: help.to_string(),
+            kind,
+            samples: BTreeMap::new(),
+        });
+        debug_assert_eq!(metric.kind, kind, "metric {dotted} re-registered as another kind");
+        metric
+    }
+
+    /// Sets a monotonically-accumulated value (`_total` is appended to
+    /// the exported name per Prometheus convention).
+    pub fn set_counter(&mut self, dotted: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        let block = label_block(labels);
+        self.entry(dotted, help, MetricKind::Counter)
+            .samples
+            .insert(block, Sample::Int(value));
+    }
+
+    /// Sets an instantaneous value.
+    pub fn set_gauge(&mut self, dotted: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        let block = label_block(labels);
+        self.entry(dotted, help, MetricKind::Gauge)
+            .samples
+            .insert(block, Sample::Float(value));
+    }
+
+    /// Sets a distribution from a [`LogHistogram`] (cumulative buckets
+    /// with exact integer `le` bounds, plus `_sum` and `_count`).
+    pub fn set_histogram(
+        &mut self,
+        dotted: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        hist: &LogHistogram,
+    ) {
+        let block = label_block(labels);
+        self.entry(dotted, help, MetricKind::Histogram)
+            .samples
+            .insert(
+                block,
+                Sample::Hist(Box::new((*hist.counts(), hist.count(), hist.sum()))),
+            );
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether no metric has been set.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Renders the deterministic text exposition.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in &self.metrics {
+            out.push_str(&format!("# HELP {name} {}\n", metric.help));
+            out.push_str(&format!("# TYPE {name} {}\n", metric.kind.label()));
+            for (block, sample) in &metric.samples {
+                match sample {
+                    Sample::Int(v) => {
+                        let suffix = match metric.kind {
+                            MetricKind::Counter => "_total",
+                            _ => "",
+                        };
+                        out.push_str(&format!("{name}{suffix}{block} {v}\n"));
+                    }
+                    Sample::Float(v) => out.push_str(&format!("{name}{block} {v}\n")),
+                    Sample::Hist(h) => {
+                        let (counts, count, sum) = &**h;
+                        let mut cumulative = 0u64;
+                        for (i, &c) in counts.iter().enumerate() {
+                            if c == 0 {
+                                continue;
+                            }
+                            cumulative += c;
+                            out.push_str(&format!(
+                                "{name}_bucket{} {cumulative}\n",
+                                merge_le(block, bucket_le(i)),
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{name}_bucket{} {count}\n",
+                            merge_le_inf(block)
+                        ));
+                        out.push_str(&format!("{name}_sum{block} {sum}\n"));
+                        out.push_str(&format!("{name}_count{block} {count}\n"));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Splices `le="<bound>"` into an existing (possibly empty) label block.
+fn merge_le(block: &str, bound: u64) -> String {
+    merge_label(block, &format!("le=\"{bound}\""))
+}
+
+fn merge_le_inf(block: &str) -> String {
+    merge_label(block, "le=\"+Inf\"")
+}
+
+fn merge_label(block: &str, label: &str) -> String {
+    if block.is_empty() {
+        format!("{{{label}}}")
+    } else {
+        format!("{},{label}}}", &block[..block.len() - 1])
+    }
+}
+
+/// Folds a [`TraceSnapshot`]'s counter streams in, with help text
+/// resolved from [`names::COUNTERS`] — the single place recording sites
+/// and the exposition agree on what each stream means. Each stream
+/// `x.y` exports `x.y` (sample count), `x.y_sum`, and `x.y_max`.
+pub fn fold_trace_counters(reg: &mut MetricsRegistry, snapshot: &TraceSnapshot) {
+    for (name, summary) in snapshot.counters() {
+        let help = names::COUNTERS
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| *h)
+            .unwrap_or("Trace counter stream");
+        reg.set_counter(name, help, &[], summary.samples);
+        reg.set_counter(
+            &format!("{name}_sum"),
+            &format!("{help} (sum of samples)"),
+            &[],
+            summary.sum,
+        );
+        reg.set_gauge(
+            &format!("{name}_max"),
+            &format!("{help} (max sample)"),
+            &[],
+            summary.max as f64,
+        );
+    }
+}
+
+/// Folds a [`TraceSnapshot`]'s span-duration histograms in as
+/// `hermes_span_<name>_ns` distributions.
+///
+/// # Errors
+///
+/// Propagates span-matching failures from [`TraceSnapshot::histograms`].
+pub fn fold_trace_spans(reg: &mut MetricsRegistry, snapshot: &TraceSnapshot) -> Result<(), String> {
+    for (name, hist) in snapshot.histograms()? {
+        reg.set_histogram(
+            &format!("span.{name}_ns"),
+            "Span duration distribution (ns)",
+            &[],
+            &hist,
+        );
+    }
+    Ok(())
+}
+
+/// Shape summary [`parse_text`] returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsedExposition {
+    /// `# TYPE` blocks seen.
+    pub metrics: usize,
+    /// Sample lines seen.
+    pub samples: usize,
+}
+
+/// Parses a [`MetricsRegistry::render_text`] exposition back, validating
+/// its shape: every sample is preceded by its metric's `# TYPE` line,
+/// values parse, histogram buckets are cumulative-monotone and agree
+/// with `_count`.
+///
+/// # Errors
+///
+/// Returns a description of the first violation.
+pub fn parse_text(text: &str) -> Result<ParsedExposition, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut metrics = 0usize;
+    let mut samples = 0usize;
+    // Per histogram series (name+labels minus le): last cumulative value,
+    // and the +Inf / _count values for the final consistency check.
+    let mut hist_last: BTreeMap<String, u64> = BTreeMap::new();
+    let mut hist_inf: BTreeMap<String, u64> = BTreeMap::new();
+    let mut hist_count: BTreeMap<String, u64> = BTreeMap::new();
+
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or_else(|| format!("bad TYPE line: {line}"))?;
+            let kind = it.next().ok_or_else(|| format!("bad TYPE line: {line}"))?;
+            types.insert(name.to_string(), kind.to_string());
+            metrics += 1;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("bad sample line: {line}"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|e| format!("bad value in {line}: {e}"))?;
+        let (name_part, labels) = match series.split_once('{') {
+            Some((n, l)) => (n, format!("{{{l}")),
+            None => (series, String::new()),
+        };
+        // Resolve the declaring metric: exact name, or name minus a
+        // histogram/counter suffix.
+        let base = ["_bucket", "_sum", "_count", "_total"]
+            .iter()
+            .find_map(|s| name_part.strip_suffix(s).filter(|b| types.contains_key(*b)))
+            .or_else(|| types.contains_key(name_part).then_some(name_part))
+            .ok_or_else(|| format!("sample before TYPE: {line}"))?;
+        samples += 1;
+
+        if types.get(base).map(String::as_str) == Some("histogram") {
+            let series_key = |labels: &str| {
+                let stripped: Vec<&str> = labels
+                    .trim_start_matches('{')
+                    .trim_end_matches('}')
+                    .split(',')
+                    .filter(|kv| !kv.starts_with("le="))
+                    .filter(|kv| !kv.is_empty())
+                    .collect();
+                format!("{base}{{{}}}", stripped.join(","))
+            };
+            if name_part.ends_with("_bucket") {
+                let key = series_key(&labels);
+                let v = value as u64;
+                if labels.contains("le=\"+Inf\"") {
+                    hist_inf.insert(key, v);
+                } else {
+                    let last = hist_last.entry(key).or_insert(0);
+                    if v < *last {
+                        return Err(format!("non-monotone histogram bucket: {line}"));
+                    }
+                    *last = v;
+                }
+            } else if name_part.ends_with("_count") {
+                hist_count.insert(series_key(&labels), value as u64);
+            }
+        }
+    }
+    for (key, count) in &hist_count {
+        if hist_inf.get(key) != Some(count) {
+            return Err(format!("histogram {key}: +Inf bucket != _count"));
+        }
+        if let Some(last) = hist_last.get(key) {
+            if last > count {
+                return Err(format!("histogram {key}: buckets exceed _count"));
+            }
+        }
+    }
+    if metrics == 0 {
+        return Err("no # TYPE lines found".to_string());
+    }
+    Ok(ParsedExposition { metrics, samples })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_trace::{Event, EventKind};
+
+    #[test]
+    fn render_is_deterministic_and_sorted() {
+        let build = || {
+            let mut reg = MetricsRegistry::new();
+            reg.set_gauge("serve.burn_rate", "Burn", &[("class", "interactive")], 1.5);
+            reg.set_counter("cache.hit_exact", "Hits", &[], 42);
+            reg.set_counter("cache.miss", "Misses", &[], 7);
+            reg.render_text()
+        };
+        let text = build();
+        assert_eq!(text, build());
+        let hits = text.find("hermes_cache_hit_exact").unwrap();
+        let miss = text.find("hermes_cache_miss").unwrap();
+        let burn = text.find("hermes_serve_burn_rate").unwrap();
+        assert!(hits < miss && miss < burn, "metrics must render sorted");
+        assert!(text.contains("hermes_cache_hit_exact_total 42"));
+        assert!(text.contains("hermes_serve_burn_rate{class=\"interactive\"} 1.5"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_integer_bounds() {
+        let mut h = LogHistogram::new();
+        for v in [3u64, 3, 10, 1500] {
+            h.record(v);
+        }
+        let mut reg = MetricsRegistry::new();
+        reg.set_histogram("serve.sojourn_ns", "Sojourn", &[], &h);
+        let text = reg.render_text();
+        // Buckets [2,4) → le=3 cum 2; [8,16) → le=15 cum 3; [1024,2048) → le=2047 cum 4.
+        assert!(text.contains("hermes_serve_sojourn_ns_bucket{le=\"3\"} 2"));
+        assert!(text.contains("hermes_serve_sojourn_ns_bucket{le=\"15\"} 3"));
+        assert!(text.contains("hermes_serve_sojourn_ns_bucket{le=\"2047\"} 4"));
+        assert!(text.contains("hermes_serve_sojourn_ns_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("hermes_serve_sojourn_ns_sum 1516"));
+        assert!(text.contains("hermes_serve_sojourn_ns_count 4"));
+        let parsed = parse_text(&text).unwrap();
+        assert_eq!(parsed.metrics, 1);
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_malformed() {
+        let mut reg = MetricsRegistry::new();
+        let mut h = LogHistogram::new();
+        h.record(5);
+        reg.set_histogram("a.hist", "H", &[("k", "v")], &h);
+        reg.set_counter("a.count", "C", &[], 1);
+        reg.set_gauge("a.gauge", "G", &[], 0.25);
+        let parsed = parse_text(&reg.render_text()).unwrap();
+        assert_eq!(parsed.metrics, 3);
+
+        assert!(parse_text("").is_err());
+        assert!(parse_text("hermes_x 1\n").is_err(), "sample before TYPE");
+        assert!(parse_text(
+            "# TYPE hermes_h histogram\nhermes_h_bucket{le=\"+Inf\"} 2\nhermes_h_count 3\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trace_counters_fold_with_registry_help() {
+        let events = vec![
+            Event {
+                kind: EventKind::Counter,
+                name: names::CACHE_HIT_EXACT,
+                ts_ns: 1,
+                value: 1,
+                tid: 0,
+                args: Default::default(),
+            },
+            Event {
+                kind: EventKind::Counter,
+                name: names::CACHE_HIT_EXACT,
+                ts_ns: 2,
+                value: 1,
+                tid: 0,
+                args: Default::default(),
+            },
+            Event {
+                kind: EventKind::Counter,
+                name: names::SERVE_QUEUE_DEPTH,
+                ts_ns: 3,
+                value: 9,
+                tid: 0,
+                args: Default::default(),
+            },
+        ];
+        let snap = TraceSnapshot::from_events(events);
+        let mut reg = MetricsRegistry::new();
+        fold_trace_counters(&mut reg, &snap);
+        let text = reg.render_text();
+        assert!(text.contains("hermes_cache_hit_exact_total 2"));
+        assert!(text.contains("# HELP hermes_cache_hit_exact Exact bit-pattern cache hits"));
+        assert!(text.contains("hermes_serve_queue_depth_max 9"));
+        parse_text(&text).unwrap();
+    }
+}

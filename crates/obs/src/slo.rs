@@ -1,0 +1,369 @@
+//! SLO accounting: deadline hit/miss tallies, shed/expired/served-stale
+//! counters, and error-budget burn rate over sliding virtual-time
+//! windows.
+//!
+//! The serving layer is a virtual-time machine, so "sliding window" here
+//! means sliding over *virtual* nanoseconds: the tracker advances with
+//! every recorded event's timestamp, never reads a wall clock, and a
+//! seeded run therefore produces bit-identical burn tables. Windows are
+//! rings of sub-window buckets (a standard burn-rate estimator): an
+//! event at time *t* lands in sub-window `t / sub_ns`, and reading the
+//! rate sums the last `subwindows` of them, expiring stale slots
+//! lazily.
+//!
+//! **Burn rate** follows the SRE convention: the observed bad fraction
+//! inside the window divided by the budgeted bad fraction. Burn 1.0
+//! spends the error budget exactly at its sustainable rate; >1 burns
+//! faster (a 14.4× burn on a 0.1% budget is the classic page-now
+//! threshold); 0 means a clean window.
+
+use crate::timeline::{CachePath, RequestTimeline, ShedCause};
+
+/// Per-class SLO targets and the shared burn-window shape.
+#[derive(Debug, Clone)]
+pub struct SloPolicy {
+    /// Per-class sojourn target, ns (`None` = class has no latency SLO,
+    /// e.g. batch traffic). Indexed by priority-class index.
+    pub targets_ns: Vec<Option<u64>>,
+    /// Budgeted bad fraction (misses + sheds over attempts), e.g. 0.01.
+    pub budget: f64,
+    /// Sliding-window width, virtual ns.
+    pub window_ns: u64,
+    /// Sub-window buckets per window (resolution of the slide).
+    pub subwindows: usize,
+}
+
+impl SloPolicy {
+    /// A policy with `targets_ns` per class, a 1% budget, and a 1-second
+    /// window of 8 sub-windows.
+    pub fn new(targets_ns: Vec<Option<u64>>) -> Self {
+        SloPolicy {
+            targets_ns,
+            budget: 0.01,
+            window_ns: 1_000_000_000,
+            subwindows: 8,
+        }
+    }
+
+    /// Sets the budgeted bad fraction.
+    pub fn with_budget(mut self, budget: f64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the sliding-window width (ns).
+    pub fn with_window_ns(mut self, window_ns: u64) -> Self {
+        self.window_ns = window_ns;
+        self
+    }
+}
+
+/// One sliding window: a ring of `(sub_index, good, bad)` slots.
+#[derive(Debug, Clone)]
+struct WindowRing {
+    sub_ns: u64,
+    slots: Vec<(u64, u64, u64)>,
+}
+
+impl WindowRing {
+    fn new(window_ns: u64, subwindows: usize) -> Self {
+        let n = subwindows.max(1) as u64;
+        WindowRing {
+            sub_ns: (window_ns / n).max(1),
+            slots: vec![(0, 0, 0); n as usize],
+        }
+    }
+
+    fn slot_mut(&mut self, t_ns: u64) -> &mut (u64, u64, u64) {
+        let sub = t_ns / self.sub_ns;
+        let at = (sub % self.slots.len() as u64) as usize;
+        let slot = &mut self.slots[at];
+        if slot.0 != sub {
+            *slot = (sub, 0, 0);
+        }
+        slot
+    }
+
+    fn record(&mut self, t_ns: u64, good: bool) {
+        let slot = self.slot_mut(t_ns);
+        if good {
+            slot.1 += 1;
+        } else {
+            slot.2 += 1;
+        }
+    }
+
+    /// `(good, bad)` inside the window ending at `now_ns`.
+    fn totals(&self, now_ns: u64) -> (u64, u64) {
+        let current = now_ns / self.sub_ns;
+        let oldest = current.saturating_sub(self.slots.len() as u64 - 1);
+        self.slots
+            .iter()
+            .filter(|(sub, g, b)| *sub >= oldest && *sub <= current && (*g > 0 || *b > 0))
+            .fold((0, 0), |(g0, b0), (_, g, b)| (g0 + g, b0 + b))
+    }
+}
+
+/// Lifetime counters of one priority class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SloCounters {
+    /// Requests completed.
+    pub served: u64,
+    /// Completions within the class target (equals `served` for classes
+    /// without a target).
+    pub deadline_hit: u64,
+    /// Completions over the class target.
+    pub deadline_miss: u64,
+    /// Requests shed at admission (queue full).
+    pub shed_queue_full: u64,
+    /// Requests expired before dispatch.
+    pub expired: u64,
+    /// Completions answered from the semantic (near-duplicate) cache
+    /// layer — served, but with a stored neighbour's result.
+    pub served_stale: u64,
+}
+
+impl SloCounters {
+    /// Admission attempts the class saw (served + turned away).
+    pub fn attempts(&self) -> u64 {
+        self.served + self.shed_queue_full + self.expired
+    }
+
+    /// Lifetime bad fraction: (misses + sheds + expiries) / attempts.
+    pub fn bad_fraction(&self) -> f64 {
+        let attempts = self.attempts();
+        if attempts == 0 {
+            0.0
+        } else {
+            (self.deadline_miss + self.shed_queue_full + self.expired) as f64 / attempts as f64
+        }
+    }
+}
+
+/// Per-class SLO state: counters plus the class's sliding burn window.
+#[derive(Debug, Clone)]
+pub struct ClassSlo {
+    label: &'static str,
+    target_ns: Option<u64>,
+    counters: SloCounters,
+    window: WindowRing,
+}
+
+impl ClassSlo {
+    /// Class label.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// The class sojourn target, if any.
+    pub fn target_ns(&self) -> Option<u64> {
+        self.target_ns
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> &SloCounters {
+        &self.counters
+    }
+}
+
+/// The SLO accounting module: counters + burn windows per class,
+/// advancing on virtual time.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    policy: SloPolicy,
+    classes: Vec<ClassSlo>,
+    now_ns: u64,
+}
+
+impl SloTracker {
+    /// A tracker for `class_labels` (class-index order) under `policy`.
+    /// Classes beyond `policy.targets_ns` get no target.
+    pub fn new(class_labels: &[&'static str], policy: SloPolicy) -> Self {
+        let classes = class_labels
+            .iter()
+            .enumerate()
+            .map(|(i, &label)| ClassSlo {
+                label,
+                target_ns: policy.targets_ns.get(i).copied().flatten(),
+                counters: SloCounters::default(),
+                window: WindowRing::new(policy.window_ns, policy.subwindows),
+            })
+            .collect();
+        SloTracker {
+            policy,
+            classes,
+            now_ns: 0,
+        }
+    }
+
+    fn advance(&mut self, t_ns: u64) {
+        self.now_ns = self.now_ns.max(t_ns);
+    }
+
+    /// Folds one completed timeline in at its finish time.
+    pub fn on_completion(&mut self, tl: &RequestTimeline) {
+        self.advance(tl.finish_ns);
+        let Some(class) = self.classes.get_mut(tl.class) else {
+            return;
+        };
+        class.counters.served += 1;
+        if tl.cache == CachePath::SemanticHit {
+            class.counters.served_stale += 1;
+        }
+        let hit = class.target_ns.is_none_or(|t| tl.met_target(t));
+        if hit {
+            class.counters.deadline_hit += 1;
+        } else {
+            class.counters.deadline_miss += 1;
+        }
+        if class.target_ns.is_some() {
+            class.window.record(tl.finish_ns, hit);
+        }
+    }
+
+    /// Folds one shed/expiry in at decision time.
+    pub fn on_shed(&mut self, class: usize, at_ns: u64, cause: ShedCause) {
+        self.advance(at_ns);
+        let Some(class) = self.classes.get_mut(class) else {
+            return;
+        };
+        match cause {
+            ShedCause::QueueFull => class.counters.shed_queue_full += 1,
+            ShedCause::Expired => class.counters.expired += 1,
+        }
+        if class.target_ns.is_some() {
+            class.window.record(at_ns, false);
+        }
+    }
+
+    /// Error-budget burn rate of `class` over the window ending at the
+    /// tracker's current virtual time: observed bad fraction ÷ budgeted
+    /// bad fraction. 0.0 for classes without a target or windows without
+    /// traffic.
+    pub fn burn_rate(&self, class: usize) -> f64 {
+        let Some(c) = self.classes.get(class) else {
+            return 0.0;
+        };
+        if c.target_ns.is_none() || self.policy.budget <= 0.0 {
+            return 0.0;
+        }
+        let (good, bad) = c.window.totals(self.now_ns);
+        let total = good + bad;
+        if total == 0 {
+            return 0.0;
+        }
+        (bad as f64 / total as f64) / self.policy.budget
+    }
+
+    /// Per-class state, class-index order.
+    pub fn classes(&self) -> &[ClassSlo] {
+        &self.classes
+    }
+
+    /// The policy this tracker runs.
+    pub fn policy(&self) -> &SloPolicy {
+        &self.policy
+    }
+
+    /// Latest event time folded in (virtual ns).
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{PhaseNs, RequestId};
+
+    fn tl(class: usize, arrival: u64, finish: u64, cache: CachePath) -> RequestTimeline {
+        RequestTimeline::from_dispatch(
+            RequestId(1),
+            1,
+            class,
+            ["i", "s", "b"][class],
+            arrival,
+            arrival,
+            finish,
+            1,
+            &PhaseNs::new(),
+            cache,
+            None,
+        )
+    }
+
+    fn tracker(budget: f64) -> SloTracker {
+        SloTracker::new(
+            &["i", "s", "b"],
+            SloPolicy::new(vec![Some(100), Some(1_000), None])
+                .with_budget(budget)
+                .with_window_ns(800),
+        )
+    }
+
+    #[test]
+    fn hits_misses_and_stale_counted_per_class() {
+        let mut t = tracker(0.01);
+        t.on_completion(&tl(0, 0, 50, CachePath::Computed)); // hit
+        t.on_completion(&tl(0, 0, 400, CachePath::SemanticHit)); // miss + stale
+        t.on_completion(&tl(2, 0, 99_999, CachePath::Computed)); // no target: hit
+        let c0 = t.classes()[0].counters();
+        assert_eq!((c0.served, c0.deadline_hit, c0.deadline_miss), (2, 1, 1));
+        assert_eq!(c0.served_stale, 1);
+        let c2 = t.classes()[2].counters();
+        assert_eq!((c2.served, c2.deadline_hit, c2.deadline_miss), (1, 1, 0));
+        assert_eq!(t.burn_rate(2), 0.0, "no target, no burn");
+    }
+
+    #[test]
+    fn sheds_count_against_the_budget() {
+        let mut t = tracker(0.5);
+        t.on_completion(&tl(0, 0, 50, CachePath::Computed));
+        t.on_shed(0, 60, ShedCause::QueueFull);
+        t.on_shed(0, 70, ShedCause::Expired);
+        let c = t.classes()[0].counters();
+        assert_eq!(c.shed_queue_full, 1);
+        assert_eq!(c.expired, 1);
+        assert_eq!(c.attempts(), 3);
+        // Window: 1 good, 2 bad → bad fraction 2/3, budget 0.5 → burn 4/3.
+        assert!((t.burn_rate(0) - (2.0 / 3.0) / 0.5).abs() < 1e-12);
+        assert!((c.bad_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_slides_with_virtual_time() {
+        let mut t = tracker(1.0);
+        // All misses early in virtual time.
+        for at in [0u64, 10, 20] {
+            t.on_completion(&tl(0, at, at + 500, CachePath::Computed));
+        }
+        assert!(t.burn_rate(0) > 0.99);
+        // A long quiet stretch later: the early misses age out of the
+        // 800 ns window once hits land far past them.
+        for at in [100_000u64, 100_010, 100_020] {
+            t.on_completion(&tl(0, at, at + 1, CachePath::Computed));
+        }
+        assert_eq!(t.burn_rate(0), 0.0);
+    }
+
+    #[test]
+    fn deterministic_replay_produces_identical_tables() {
+        let run = || {
+            let mut t = tracker(0.02);
+            for i in 0..200u64 {
+                let sojourn = if i % 7 == 0 { 300 } else { 80 };
+                t.on_completion(&tl(0, i * 13, i * 13 + sojourn, CachePath::Computed));
+                if i % 11 == 0 {
+                    t.on_shed(1, i * 13, ShedCause::QueueFull);
+                }
+            }
+            (
+                *t.classes()[0].counters(),
+                *t.classes()[1].counters(),
+                t.burn_rate(0),
+                t.burn_rate(1),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

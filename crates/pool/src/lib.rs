@@ -325,8 +325,8 @@ impl Pool {
                 }
                 let end = (start + grain).min(n);
                 let _task_span = hermes_trace::is_enabled().then(|| {
-                    hermes_trace::counter("pool.steal", 1);
-                    hermes_trace::counter("pool.queue_depth", (n - end) as u64);
+                    hermes_trace::counter(hermes_trace::names::POOL_STEAL, 1);
+                    hermes_trace::counter(hermes_trace::names::POOL_QUEUE_DEPTH, (n - end) as u64);
                     hermes_trace::span_with(
                         "pool.task",
                         &[("start", start as u64), ("len", (end - start) as u64)],
@@ -451,7 +451,7 @@ fn worker_loop(inner: &Inner) {
                         seen = slot.epoch;
                         if let Some(t0) = idle_from {
                             let now = hermes_trace::now_ns();
-                            hermes_trace::complete("pool.idle", t0, now.saturating_sub(t0));
+                            hermes_trace::complete(hermes_trace::names::POOL_IDLE, t0, now.saturating_sub(t0));
                         }
                         break job;
                     }

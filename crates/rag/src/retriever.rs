@@ -202,7 +202,7 @@ impl Retriever {
     ///
     /// Propagates index errors (dimension mismatch, empty index).
     pub fn retrieve(&self, query: &[f32]) -> Result<Retrieval, HermesError> {
-        let mut sp = hermes_trace::span("rag.retrieve");
+        let mut sp = hermes_trace::span(hermes_trace::names::RAG_RETRIEVE);
         let out = match &self.cache {
             Some(cache) => self.retrieve_cached(cache, query)?,
             None => self.retrieve_inner(query)?,

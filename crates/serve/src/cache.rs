@@ -35,6 +35,8 @@ use hermes_cache::{CacheConfig, CacheStats, SemanticCache};
 use hermes_core::exec::Engine;
 use hermes_core::search::SearchOutcome;
 use hermes_core::HermesError;
+use hermes_obs::{CachePath, Phase, PhaseNs};
+use hermes_trace::names;
 
 use crate::batch::coalesce_groups;
 use crate::generation::GenerationCell;
@@ -74,11 +76,13 @@ impl CachedBackend {
 
 impl Backend for CachedBackend {
     fn run(&self, batch: &[Request]) -> Result<BatchOutcome, HermesError> {
-        let mut sp = hermes_trace::span_with("cache.batch", &[("queries", batch.len() as u64)]);
+        let mut sp = hermes_trace::span_with(names::CACHE_BATCH, &[("queries", batch.len() as u64)]);
         let store = self.cell.current();
         let version = self.cell.version();
         let engine = Engine::for_store(&store);
         let queries: Vec<Vec<f32>> = batch.iter().map(|r| r.query.clone()).collect();
+        let mut phases = PhaseNs::new();
+        let mut cache_paths = vec![CachePath::Computed; queries.len()];
         let t0 = hermes_trace::now_ns();
 
         let mut slots: Vec<Option<SearchOutcome>> = vec![None; queries.len()];
@@ -88,6 +92,13 @@ impl Backend for CachedBackend {
         for (slot, q) in slots.iter_mut().zip(&queries) {
             *slot = cache.lookup_exact(q, version).cloned();
         }
+        for (path, slot) in cache_paths.iter_mut().zip(&slots) {
+            if slot.is_some() {
+                *path = CachePath::ExactHit;
+            }
+        }
+        let t_exact = hermes_trace::now_ns();
+        phases.add(Phase::CacheProbe, t_exact.saturating_sub(t0));
         let missed: Vec<usize> = slots
             .iter()
             .enumerate()
@@ -100,17 +111,24 @@ impl Backend for CachedBackend {
         if !missed.is_empty() {
             let miss_queries: Vec<Vec<f32>> = missed.iter().map(|&i| queries[i].clone()).collect();
             let routes = engine.route_batch(&miss_queries, self.threads)?;
+            let t_route = hermes_trace::now_ns();
+            phases.add(Phase::Route, t_route.saturating_sub(t_exact));
             let mut compute: Vec<(usize, Vec<f32>)> = Vec::new();
             let mut compute_routes = Vec::new();
             for ((&i, q), route) in missed.iter().zip(miss_queries).zip(routes) {
                 match cache.lookup_semantic(&q, route.top_cluster(), version) {
-                    Some(hit) => slots[i] = Some(hit.payload),
+                    Some(hit) => {
+                        slots[i] = Some(hit.payload);
+                        cache_paths[i] = CachePath::SemanticHit;
+                    }
                     None => {
                         compute.push((i, q));
                         compute_routes.push(route);
                     }
                 }
             }
+            let t_semantic = hermes_trace::now_ns();
+            phases.add(Phase::CacheProbe, t_semantic.saturating_sub(t_route));
             if !compute.is_empty() {
                 let compute_queries: Vec<Vec<f32>> =
                     compute.iter().map(|(_, q)| q.clone()).collect();
@@ -125,6 +143,7 @@ impl Backend for CachedBackend {
                     executed_searched.push(outcome.searched_clusters.clone());
                     slots[i] = Some(outcome);
                 }
+                phases.add(Phase::Deep, hermes_trace::now_ns().saturating_sub(t_semantic));
             }
         }
         let stats = cache.stats();
@@ -145,6 +164,8 @@ impl Backend for CachedBackend {
             service_ns,
             distinct_clusters: plan.distinct_clusters,
             shared_visits: plan.shared_visits(),
+            phases,
+            cache_paths,
         })
     }
 }

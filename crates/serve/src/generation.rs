@@ -26,6 +26,7 @@ use std::sync::{Arc, RwLock};
 
 use hermes_core::exec::Engine;
 use hermes_core::{ClusteredStore, HermesError};
+use hermes_obs::{Phase, PhaseNs};
 
 use crate::batch::coalesce_groups;
 use crate::request::Request;
@@ -138,13 +139,24 @@ impl Backend for GenerationBackend {
         let store = self.cell.current();
         let engine = Engine::for_store(&store);
         let queries: Vec<Vec<f32>> = batch.iter().map(|r| r.query.clone()).collect();
+        let mut phases = PhaseNs::new();
         let t0 = hermes_trace::now_ns();
         let outcomes = if self.coalesce {
-            engine.execute_coalesced(&queries, self.threads)?
+            // Same route/scatter split as `EngineBackend`: bit-identical
+            // to `execute_coalesced`, but the seam lets the clock reads
+            // attribute Route vs Deep.
+            let routes = engine.route_batch(&queries, self.threads)?;
+            let t_routed = hermes_trace::now_ns();
+            phases.add(Phase::Route, t_routed.saturating_sub(t0));
+            let outcomes = engine.execute_coalesced_routed(&queries, routes, self.threads)?;
+            phases.add(Phase::Deep, hermes_trace::now_ns().saturating_sub(t_routed));
+            outcomes
         } else {
-            engine.execute_batch(&queries, self.threads)?
+            let outcomes = engine.execute_batch(&queries, self.threads)?;
+            phases.add(Phase::Deep, hermes_trace::now_ns().saturating_sub(t0));
+            outcomes
         };
-        let service_ns = hermes_trace::now_ns().saturating_sub(t0);
+        let service_ns = phases.total();
         let searched: Vec<Vec<usize>> = outcomes
             .iter()
             .map(|o| o.searched_clusters.clone())
@@ -155,6 +167,8 @@ impl Backend for GenerationBackend {
             service_ns,
             distinct_clusters: plan.distinct_clusters,
             shared_visits: plan.shared_visits(),
+            phases,
+            cache_paths: Vec::new(),
         })
     }
 }

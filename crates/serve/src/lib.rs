@@ -19,6 +19,12 @@
 //! * [`loadgen`] — open-loop (seeded Poisson, shared with
 //!   `hermes_sim::queueing` through [`hermes_datagen::arrivals`]) and
 //!   closed-loop (users + think time) drivers.
+//! * [`observe`] — glue to `hermes_obs`: the server mints a
+//!   [`hermes_obs::RequestId`] per admission ([`Request::rid`]) and,
+//!   with an [`hermes_obs::Observer`] attached
+//!   ([`Server::with_observer`]), folds every completion into per-request
+//!   timelines, tail attribution, SLO burn accounting and the metrics
+//!   exposition — without perturbing results or timing.
 //!
 //! **Equivalence bar:** batching, coalescing, priorities and deadlines
 //! change *when* work runs, never *what it returns* — every completion
@@ -32,6 +38,7 @@ pub mod batch;
 pub mod cache;
 pub mod generation;
 pub mod loadgen;
+pub mod observe;
 pub mod queue;
 pub mod request;
 pub mod server;
@@ -40,6 +47,7 @@ pub use batch::{coalesce_groups, BatchPlan};
 pub use cache::CachedBackend;
 pub use generation::{GenerationBackend, GenerationCell};
 pub use loadgen::{run_closed_loop, run_open_loop, ClosedLoopSpec, LoadReport, OpenLoopSpec};
+pub use observe::{export_cache_stats, export_serve_report, obs_config};
 pub use queue::AdmissionQueue;
 pub use request::{Completion, Priority, Request, ShedReason, ShedRecord};
 pub use server::{

@@ -44,6 +44,15 @@ impl Priority {
 pub struct Request {
     /// Caller-assigned identity; sheds and completions refer back to it.
     pub id: u64,
+    /// Serving-layer request id, minted by [`Server::submit`] at
+    /// admission (dense, starting at 1, unique per server) — the key
+    /// every trace event and [`hermes_obs::RequestTimeline`] of this
+    /// request carries. `0` until admission. Unlike [`Request::id`],
+    /// which the caller chooses and may reuse, `rid` is unambiguous
+    /// within one server's run.
+    ///
+    /// [`Server::submit`]: crate::Server::submit
+    pub rid: u64,
     /// The query vector.
     pub query: Vec<f32>,
     /// SLO class.
@@ -61,6 +70,7 @@ impl Request {
     pub fn new(id: u64, query: Vec<f32>, priority: Priority, arrival_ns: u64) -> Self {
         Request {
             id,
+            rid: 0,
             query,
             priority,
             arrival_ns,

@@ -25,7 +25,9 @@
 use hermes_core::exec::Engine;
 use hermes_core::search::SearchOutcome;
 use hermes_core::HermesError;
+use hermes_obs::{CachePath, Observer, Phase, PhaseNs, RequestId, RequestTimeline, ShedCause};
 use hermes_trace::hist::LogHistogram;
+use hermes_trace::names;
 
 use crate::batch::coalesce_groups;
 use crate::queue::AdmissionQueue;
@@ -56,6 +58,15 @@ pub struct BatchOutcome {
     pub distinct_clusters: usize,
     /// Shard visits saved by coalescing (0 when unknown).
     pub shared_visits: usize,
+    /// How the service time splits into named phases (cache probe,
+    /// route, deep scatter). Phase sums never exceed `service_ns`;
+    /// whatever the backend leaves unattributed lands in
+    /// [`hermes_obs::Phase::Residual`] when timelines are built.
+    pub phases: PhaseNs,
+    /// Per-request cache disposition aligned with the batch; empty when
+    /// the backend has no cache (every request then counts as
+    /// [`CachePath::Computed`]).
+    pub cache_paths: Vec<CachePath>,
 }
 
 /// Real execution over [`Engine`], coalesced by default.
@@ -94,13 +105,27 @@ impl<'s> EngineBackend<'s> {
 impl Backend for EngineBackend<'_> {
     fn run(&self, batch: &[Request]) -> Result<BatchOutcome, HermesError> {
         let queries: Vec<Vec<f32>> = batch.iter().map(|r| r.query.clone()).collect();
+        let mut phases = PhaseNs::new();
         let t0 = hermes_trace::now_ns();
         let outcomes = if self.coalesce {
-            self.engine.execute_coalesced(&queries, self.threads)?
+            // The coalesced path split at its route/scatter seam — the
+            // exact decomposition `Engine::execute_coalesced` performs
+            // internally, pinned bit-identical by the core equivalence
+            // tests — so the clock reads bracket Route vs Deep.
+            let routes = self.engine.route_batch(&queries, self.threads)?;
+            let t_routed = hermes_trace::now_ns();
+            phases.add(Phase::Route, t_routed.saturating_sub(t0));
+            let outcomes =
+                self.engine
+                    .execute_coalesced_routed(&queries, routes, self.threads)?;
+            phases.add(Phase::Deep, hermes_trace::now_ns().saturating_sub(t_routed));
+            outcomes
         } else {
-            self.engine.execute_batch(&queries, self.threads)?
+            let outcomes = self.engine.execute_batch(&queries, self.threads)?;
+            phases.add(Phase::Deep, hermes_trace::now_ns().saturating_sub(t0));
+            outcomes
         };
-        let service_ns = hermes_trace::now_ns().saturating_sub(t0);
+        let service_ns = phases.total();
         let searched: Vec<Vec<usize>> = outcomes
             .iter()
             .map(|o| o.searched_clusters.clone())
@@ -111,6 +136,8 @@ impl Backend for EngineBackend<'_> {
             service_ns,
             distinct_clusters: plan.distinct_clusters,
             shared_visits: plan.shared_visits(),
+            phases,
+            cache_paths: Vec::new(),
         })
     }
 }
@@ -147,6 +174,8 @@ impl Backend for FixedServiceBackend {
             service_ns: self.base_ns + self.per_request_ns * batch.len() as u64,
             distinct_clusters: 0,
             shared_visits: 0,
+            phases: PhaseNs::new(),
+            cache_paths: Vec::new(),
         })
     }
 }
@@ -222,6 +251,11 @@ pub struct Server<B: Backend> {
     backend: B,
     cfg: ServerConfig,
     queue: AdmissionQueue,
+    /// Last request id minted; ids are dense from 1 in admission order
+    /// and stamped whether or not an observer is attached, so attaching
+    /// one never perturbs anything the run computes.
+    next_rid: u64,
+    observer: Option<Observer>,
     free_at_ns: u64,
     busy_ns: u64,
     admitted: usize,
@@ -245,6 +279,8 @@ impl<B: Backend> Server<B> {
             backend,
             queue: AdmissionQueue::new(cfg.queue_capacity),
             cfg,
+            next_rid: 0,
+            observer: None,
             free_at_ns: 0,
             busy_ns: 0,
             admitted: 0,
@@ -261,14 +297,42 @@ impl<B: Backend> Server<B> {
         }
     }
 
-    /// Offers `req` for admission. Sheds immediately — without touching
-    /// the queue or the pool — when the queue is full or the request
-    /// arrives already expired; the shed is recorded exactly once and
-    /// also returned.
+    /// Attaches a request observer: every completion from here on folds
+    /// into its timelines, attribution and SLO accounting. Request ids
+    /// are minted whether or not one is attached, so results and timing
+    /// are bit-identical with and without (`tests/request_observability.rs`
+    /// pins this).
+    pub fn with_observer(mut self, observer: Observer) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The attached observer, if any.
+    pub fn observer(&self) -> Option<&Observer> {
+        self.observer.as_ref()
+    }
+
+    /// Mutable access to the attached observer.
+    pub fn observer_mut(&mut self) -> Option<&mut Observer> {
+        self.observer.as_mut()
+    }
+
+    /// Detaches and returns the observer (for reporting after a run).
+    pub fn take_observer(&mut self) -> Option<Observer> {
+        self.observer.take()
+    }
+
+    /// Offers `req` for admission, minting its serving-layer request id
+    /// ([`Request::rid`]). Sheds immediately — without touching the
+    /// queue or the pool — when the queue is full or the request arrives
+    /// already expired; the shed is recorded exactly once and also
+    /// returned.
     ///
     /// Drivers must call [`Server::run_until`]`(req.arrival_ns)` first so
     /// dispatches that precede this arrival have happened.
-    pub fn submit(&mut self, req: Request) -> Result<(), ShedRecord> {
+    pub fn submit(&mut self, mut req: Request) -> Result<(), ShedRecord> {
+        self.next_rid += 1;
+        req.rid = self.next_rid;
         if req.expired_at(req.arrival_ns) {
             return Err(self.record_shed(req.arrival_ns, req, ShedReason::Expired));
         }
@@ -276,7 +340,7 @@ impl<B: Backend> Server<B> {
         match self.queue.try_admit(req) {
             Ok(()) => {
                 self.admitted += 1;
-                hermes_trace::counter("serve.queue_depth", self.queue.len() as u64);
+                hermes_trace::counter(names::SERVE_QUEUE_DEPTH, self.queue.len() as u64);
                 Ok(())
             }
             Err(rejected) => Err(self.record_shed(at_ns, rejected, ShedReason::QueueFull)),
@@ -287,6 +351,22 @@ impl<B: Backend> Server<B> {
         match reason {
             ShedReason::QueueFull => self.shed_full += 1,
             ShedReason::Expired => self.expired += 1,
+        }
+        hermes_trace::complete_with(
+            names::SERVE_SHED,
+            at_ns,
+            0,
+            &[
+                (names::ARG_REQUEST_ID, request.rid),
+                (names::ARG_CLASS, request.priority.index() as u64),
+            ],
+        );
+        if let Some(obs) = self.observer.as_mut() {
+            let cause = match reason {
+                ShedReason::QueueFull => ShedCause::QueueFull,
+                ShedReason::Expired => ShedCause::Expired,
+            };
+            obs.on_shed(request.priority.index(), at_ns, cause);
         }
         let record = ShedRecord {
             request,
@@ -350,15 +430,44 @@ impl<B: Backend> Server<B> {
         self.free_at_ns = finish;
         self.batches += 1;
         self.shared_visits += out.shared_visits;
-        hermes_trace::complete("serve.batch", start, out.service_ns);
+        hermes_trace::complete_with(
+            names::SERVE_BATCH,
+            start,
+            out.service_ns,
+            &[(names::ARG_BATCH_SIZE, batch.len() as u64)],
+        );
         let batch_size = batch.len();
         for (i, req) in batch.into_iter().enumerate() {
             let sojourn = finish - req.arrival_ns;
             self.sojourn.record(sojourn);
             self.wait.record(start - req.arrival_ns);
             self.sojourn_by_class[req.priority.index()].record(sojourn);
-            hermes_trace::complete("serve.request", req.arrival_ns, sojourn);
+            hermes_trace::complete_with(
+                names::SERVE_REQUEST,
+                req.arrival_ns,
+                sojourn,
+                &[
+                    (names::ARG_REQUEST_ID, req.rid),
+                    (names::ARG_CLASS, req.priority.index() as u64),
+                ],
+            );
             self.completed += 1;
+            if let Some(obs) = self.observer.as_mut() {
+                let tl = RequestTimeline::from_dispatch(
+                    RequestId(req.rid),
+                    req.id,
+                    req.priority.index(),
+                    req.priority.label(),
+                    req.arrival_ns,
+                    start,
+                    finish,
+                    batch_size,
+                    &out.phases,
+                    out.cache_paths.get(i).copied().unwrap_or(CachePath::Computed),
+                    req.deadline_ns,
+                );
+                obs.on_completion(&tl);
+            }
             self.completions.push(Completion {
                 outcome: out.outcomes.get(i).cloned(),
                 request: req,

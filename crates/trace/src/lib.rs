@@ -59,6 +59,7 @@ pub mod clock;
 pub mod export;
 pub mod hist;
 pub mod json;
+pub mod names;
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -405,6 +406,24 @@ pub fn complete(name: &'static str, start_ns: u64, dur_ns: u64) {
         value: dur_ns,
         tid: 0,
         args: ArgSet::default(),
+    });
+}
+
+/// [`complete`] with annotations on the event — the serving layer uses
+/// this to stamp request ids and priority classes onto pre-timed
+/// request/batch spans.
+#[inline]
+pub fn complete_with(name: &'static str, start_ns: u64, dur_ns: u64, args: &[Arg]) {
+    if !is_enabled() {
+        return;
+    }
+    record(Event {
+        kind: EventKind::Complete,
+        name,
+        ts_ns: start_ns,
+        value: dur_ns,
+        tid: 0,
+        args: ArgSet::from_slice(args),
     });
 }
 

@@ -1,0 +1,95 @@
+//! Property suite for [`LogHistogram::merge`]: folding histogram `b`
+//! into `a` must be *bucket-exact* equivalent to recording the union of
+//! both sample sets into one histogram — the contract `hermes-obs`
+//! relies on when it folds per-thread request-phase histograms into one
+//! attribution table.
+
+use hermes_math::stats::log2_bucket;
+use hermes_testkit::prelude::*;
+use hermes_trace::hist::{LogHistogram, BUCKETS};
+
+fn from_samples(samples: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Samples spanning every bucket magnitude, including 0 and u64::MAX.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    vec_of(u64_any(), 0..40)
+}
+
+#[test]
+fn prop_merge_is_recording_the_union_bucket_exact() {
+    check(
+        "hist_merge_union",
+        &tuple2(samples(), samples()),
+        |(xs, ys)| {
+            let mut merged = from_samples(xs);
+            merged.merge(&from_samples(ys));
+
+            let union: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+            let whole = from_samples(&union);
+
+            // Structural equality covers counts, per-bucket tallies and
+            // the exact sum.
+            prop_assert_eq!(&merged, &whole);
+            // Spell out the bucket-exactness anyway, so a future `merge`
+            // rewrite that only preserves aggregates still fails loudly.
+            for i in 0..BUCKETS {
+                prop_assert_eq!(merged.counts()[i], whole.counts()[i]);
+            }
+            for &v in &union {
+                prop_assert!(merged.counts()[log2_bucket(v)] > 0);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_merge_readouts_match_union_readouts() {
+    check(
+        "hist_merge_readouts",
+        &tuple2(samples(), samples()),
+        |(xs, ys)| {
+            let mut merged = from_samples(xs);
+            merged.merge(&from_samples(ys));
+            let union: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+            let whole = from_samples(&union);
+
+            prop_assert_eq!(merged.count(), union.len() as u64);
+            prop_assert_eq!(merged.sum(), whole.sum());
+            prop_assert_eq!(merged.max_bucket_floor(), whole.max_bucket_floor());
+            for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+                prop_assert_eq!(merged.percentile(q), whole.percentile(q));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_merge_with_empty_is_identity_and_order_free() {
+    check(
+        "hist_merge_identity",
+        &tuple2(samples(), samples()),
+        |(xs, ys)| {
+            let a = from_samples(xs);
+            let b = from_samples(ys);
+
+            let mut with_empty = a.clone();
+            with_empty.merge(&LogHistogram::new());
+            prop_assert_eq!(&with_empty, &a);
+
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(ab, ba);
+            Ok(())
+        },
+    );
+}

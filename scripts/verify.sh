@@ -125,3 +125,28 @@ HERMES_THREADS=1 cargo run -p hermes --release --offline --quiet --bin hermes --
     stats --adaptive --docs 4000 --dim 32 --clusters 6 --queries 12 --requests 60
 HERMES_THREADS=1 cargo run -p hermes --release --offline --quiet --bin hermes -- \
     stats --cache --docs 4000 --dim 32 --clusters 6 --queries 12 --requests 60
+
+# Request-observability smoke: `hermes report` attaches a per-request
+# observer to an open-loop session and errors out unless (a) every
+# served result is bit-identical to standalone engine execution with the
+# observer on, (b) every timeline is balanced (phases sum to sojourn),
+# and (c) the flight-recorder dump and the Prometheus-style text
+# exposition both re-parse cleanly before being written. The file checks
+# below re-assert the artifacts landed; `stats --slo` re-runs the same
+# bars through the SLO accounting path at pool width 1. The
+# ext_trace_overhead smoke above already re-checks the <= 2% disabled
+# overhead budget that gates the obs layer.
+echo "== hermes report / stats --slo obs smoke (release) =="
+obs_out="$(mktemp -d)"
+cargo run -p hermes --release --offline --quiet --bin hermes -- \
+    report --docs 4000 --dim 32 --clusters 6 --requests 120 --qps 4000 \
+    --metrics-path "${obs_out}/metrics.txt" --recorder-path "${obs_out}/flight.txt"
+test -s "${obs_out}/metrics.txt"
+test -s "${obs_out}/flight.txt"
+grep -q '^hermes_obs_requests_completed_total' "${obs_out}/metrics.txt"
+grep -q '^hermes_slo_burn_rate' "${obs_out}/metrics.txt"
+grep -q '^# hermes flight recorder' "${obs_out}/flight.txt"
+grep -q 'phases queue_wait=' "${obs_out}/flight.txt"
+HERMES_THREADS=1 cargo run -p hermes --release --offline --quiet --bin hermes -- \
+    stats --slo --docs 4000 --dim 32 --clusters 6 --requests 60 --qps 4000 --slo-us 500
+rm -rf "${obs_out}"

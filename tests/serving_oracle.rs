@@ -187,12 +187,14 @@ fn measured_utilization_tracks_offered_load() {
 
 #[test]
 fn engine_backend_under_test_clock_matches_sim_oracle() {
-    // An auto-advancing TestClock pins EngineBackend's two clock reads
-    // per dispatch to exactly `step` apart — telemetry is off, so the
-    // engine itself reads the clock zero times. Real queries, real
-    // results, deterministic service time.
-    let step_ns = 250_000u64; // 0.25 ms deterministic "service time"
-    let service_s = step_ns as f64 * 1e-9;
+    // An auto-advancing TestClock pins EngineBackend's three clock
+    // reads per dispatch (start, the route/deep phase boundary, end) to
+    // exactly `step` apart, so the service time is exactly 2×step —
+    // telemetry is off, so the engine itself reads the clock zero
+    // times. Real queries, real results, deterministic service time.
+    let step_ns = 250_000u64;
+    let service_ns = 2 * step_ns; // 0.5 ms deterministic "service time"
+    let service_s = service_ns as f64 * 1e-9;
     let rate_qps = 0.6 / service_s; // ρ = 0.6
     let n = 600;
     let seed = 7;
@@ -219,9 +221,10 @@ fn engine_backend_under_test_clock_matches_sim_oracle() {
     let report = run_open_loop(&mut server, &queries, &spec).unwrap();
     assert_eq!(report.completions.len(), n);
 
-    // Every dispatch was charged exactly one clock step.
+    // Every dispatch was charged exactly two clock steps (one per
+    // bracketed phase: route, then deep).
     for c in &report.completions {
-        assert_eq!(c.finish_ns - c.start_ns, step_ns, "service time drifted");
+        assert_eq!(c.finish_ns - c.start_ns, service_ns, "service time drifted");
     }
 
     // The measured queueing behaviour matches the oracle on the same
